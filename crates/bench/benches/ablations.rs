@@ -1,0 +1,37 @@
+//! Regenerates the ablations backing the paper's textual claims: ISM
+//! pages (Section 6), path length (Section 4.4), the object-cache
+//! mechanism, and cache-to-cache latency sensitivity (Section 4.3).
+
+use bench::{bench_effort, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use middlesim::figures::ablations;
+use sysos::tlb::{Tlb, TlbConfig};
+
+fn run_ablations(c: &mut Criterion) {
+    let effort = bench_effort();
+    eprintln!("running ablations at {effort:?}...");
+    let ism = ablations::run_ism(effort);
+    report("Ablation: ISM", ism.table(), ism.shape_violations());
+    let pl = ablations::run_path_length(effort, &[1, 4, 8]);
+    report("Ablation: path length", pl.table(), pl.shape_violations());
+    let oc = ablations::run_objcache(effort, 8);
+    report("Ablation: object cache", oc.table(), oc.shape_violations());
+    let cl = ablations::run_c2c_latency(effort, 8);
+    report("Ablation: c2c latency", cl.table(), cl.shape_violations());
+
+    c.bench_function("sysos/tlb_access", |b| {
+        let mut tlb = Tlb::new(TlbConfig::base_pages());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(8 << 10) & 0xfff_ffff;
+            tlb.access(memsys::Addr(a))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run_ablations
+}
+criterion_main!(benches);

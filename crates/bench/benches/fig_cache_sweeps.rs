@@ -1,0 +1,34 @@
+//! Regenerates Figures 12 and 13 (instruction/data miss rate vs cache
+//! size, full-size uniprocessor workloads), then benchmarks the
+//! multi-size sweep kernel.
+
+use bench::{bench_effort, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsys::{Addr, CacheSweep};
+use middlesim::figures::{fig12, fig13};
+
+fn figures_12_13(c: &mut Criterion) {
+    let effort = bench_effort();
+    eprintln!("running the Figure 12/13 uniprocessor sweeps at {effort:?}...");
+    let data = fig12::run_sweeps(effort);
+    let f12 = fig12::from_data(&data);
+    report("Figure 12", f12.table(), f12.shape_violations());
+    let f13 = fig13::from_data(&data);
+    report("Figure 13", f13.table(), f13.shape_violations());
+
+    c.bench_function("memsys/sweep_9_sizes_per_ref", |b| {
+        let mut sweep = CacheSweep::paper();
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x4940) & 0xff_ffff;
+            sweep.access(Addr(a));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figures_12_13
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates Figure 10 (cache-to-cache transfers over time, with the
+//! collapse during the single-threaded collections), then benchmarks a
+//! minor collection.
+
+use bench::{bench_effort, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jvm::alloc::Tlab;
+use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+use jvm::object::Lifetime;
+use memsys::{Addr, AddrRange, CountingSink};
+use middlesim::figures::fig10;
+
+fn figure_10(c: &mut Criterion) {
+    let effort = bench_effort();
+    eprintln!("running the Figure 10 trace at {effort:?}...");
+    let fig = fig10::run(effort, 8);
+    println!(
+        "\n## Figure 10 summary: c2c/bucket outside GC = {:.0}, during GC = {:.0} ({} GCs)",
+        fig.rate_outside_gc(),
+        fig.rate_during_gc(),
+        fig.gc_count
+    );
+    report("Figure 10", fig.table(), fig.shape_violations());
+
+    c.bench_function("jvm/minor_gc_1MB_live", |b| {
+        b.iter_batched(
+            || {
+                let mut heap = Heap::new(
+                    HeapConfig {
+                        geometry: HeapGeometry {
+                            eden: 8 << 20,
+                            survivor: 2 << 20,
+                            old: 32 << 20,
+                        },
+                        tenure_age: 1,
+                        tlab_bytes: 64 << 10,
+                    },
+                    AddrRange::new(Addr(0x4000_0000), 64 << 20),
+                );
+                let mut tlab = Tlab::new();
+                let mut sink = CountingSink::new();
+                for _ in 0..1024 {
+                    let _ = tlab.alloc(
+                        &mut heap,
+                        1024,
+                        Lifetime::Session {
+                            expires_epoch: u64::MAX,
+                        },
+                        &mut sink,
+                    );
+                }
+                heap
+            },
+            |mut heap| {
+                let mut sink = CountingSink::new();
+                heap.minor_gc(&mut sink);
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_10
+}
+criterion_main!(benches);

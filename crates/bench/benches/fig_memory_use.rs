@@ -1,0 +1,56 @@
+//! Regenerates Figure 11 (live memory vs scale factor), then benchmarks
+//! heap allocation throughput.
+
+use bench::{bench_effort, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use jvm::alloc::Tlab;
+use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+use jvm::object::Lifetime;
+use memsys::{Addr, AddrRange, CountingSink};
+use middlesim::figures::fig11;
+use middlesim::Effort;
+
+fn figure_11(c: &mut Criterion) {
+    let effort = bench_effort();
+    let axis = match effort {
+        Effort::Quick => &fig11::QUICK_SCALE_AXIS[..],
+        _ => &fig11::PAPER_SCALE_AXIS[..],
+    };
+    eprintln!("running the Figure 11 scale sweep over {axis:?} at {effort:?}...");
+    let fig = fig11::run(effort, axis);
+    report("Figure 11", fig.table(), fig.shape_violations());
+
+    c.bench_function("jvm/tlab_alloc_256B", |b| {
+        let mut heap = Heap::new(
+            HeapConfig {
+                geometry: HeapGeometry {
+                    eden: 256 << 20,
+                    survivor: 16 << 20,
+                    old: 64 << 20,
+                },
+                tenure_age: 1,
+                tlab_bytes: 64 << 10,
+            },
+            AddrRange::new(Addr(0x4000_0000), 512 << 20),
+        );
+        let mut tlab = Tlab::new();
+        let mut sink = CountingSink::new();
+        b.iter(|| {
+            if tlab
+                .alloc(&mut heap, 256, Lifetime::Ephemeral, &mut sink)
+                .ok()
+                .is_none()
+            {
+                let _ = heap.minor_gc(&mut sink);
+                tlab.retire();
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_11
+}
+criterion_main!(benches);

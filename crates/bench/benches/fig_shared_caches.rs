@@ -1,0 +1,32 @@
+//! Regenerates Figure 16 (shared-cache CMP topologies), then benchmarks
+//! a shared-L2 access path.
+
+use bench::{bench_effort, report};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsys::{AccessKind, Addr, HierarchyConfig, MemorySystem};
+use middlesim::figures::fig16;
+
+fn figure_16(c: &mut Criterion) {
+    let effort = bench_effort();
+    eprintln!("running the Figure 16 topology sweep at {effort:?}...");
+    let fig = fig16::run(effort);
+    report("Figure 16", fig.table(), fig.shape_violations());
+
+    c.bench_function("memsys/shared_l2_8way_access", |b| {
+        let mut builder = HierarchyConfig::builder(8);
+        builder.cpus_per_l2(8);
+        let mut sys = MemorySystem::new(builder.build().expect("8-way sharing"));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            sys.access((i % 8) as usize, AccessKind::Load, Addr((i * 64) & 0xf_ffff))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_16
+}
+criterion_main!(benches);

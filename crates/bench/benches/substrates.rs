@@ -1,0 +1,76 @@
+//! Microbenchmarks of the substrates themselves: the cache model, the
+//! coherent memory system, the B-tree database, the bean cache and the
+//! key samplers. These track the simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+use memsys::{AccessKind, Addr, AddrRange, Cache, CacheConfig, CountingSink, MemorySystem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::ecperf::cache::{BeanKey, ObjectCache};
+use workloads::objtree::build_table;
+use workloads::zipf::ZipfSampler;
+
+fn substrates(c: &mut Criterion) {
+    c.bench_function("cache/1MB_touch_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::default());
+        let _ = cache.insert(Addr(0x40), memsys::LineState::Shared);
+        b.iter(|| cache.touch(Addr(0x40)))
+    });
+
+    c.bench_function("memsys/16cpu_local_load", |b| {
+        let mut sys = MemorySystem::e6000(16).expect("16-cpu system");
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(64) & 0xf_ffff;
+            sys.access(0, AccessKind::Load, Addr(i))
+        })
+    });
+
+    c.bench_function("objtree/lookup_20k", |b| {
+        let mut heap = Heap::new(
+            HeapConfig {
+                geometry: HeapGeometry {
+                    eden: 1 << 20,
+                    survivor: 256 << 10,
+                    old: 128 << 20,
+                },
+                tenure_age: 1,
+                tlab_bytes: 8 << 10,
+            },
+            AddrRange::new(Addr(0x4000_0000), 256 << 20),
+        );
+        let mut sink = CountingSink::new();
+        let tree = build_table(&mut heap, 20_000, 448, &mut sink);
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let key = rng.gen_range(0..20_000u64);
+            tree.lookup(key, &heap, &mut sink)
+        })
+    });
+
+    c.bench_function("ecperf/bean_cache_probe", |b| {
+        let mut cache = ObjectCache::new(10_000, 1_000_000);
+        for i in 0..10_000u64 {
+            cache.insert(BeanKey::new(0, i), jvm::object::ObjectId(i as u32), 0);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let key = BeanKey::new(0, rng.gen_range(0..12_000u64));
+            cache.lookup(key, 100)
+        })
+    });
+
+    c.bench_function("zipf/sample_20k", |b| {
+        let z = ZipfSampler::new(20_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| z.sample(&mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = substrates
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # bench — the figure-regeneration harness
+//!
+//! Each Criterion bench target regenerates one (group of) paper
+//! figure(s): it prints the same rows the figure plots together with the
+//! shape verdict, then measures a representative simulation kernel so
+//! `cargo bench` also tracks the simulator's own performance.
+//!
+//! Effort is selected with the `MIDDLESIM_BENCH_EFFORT` environment
+//! variable: `quick` (default), `standard`, or `full`.
+
+use middlesim::Effort;
+
+/// Reads the bench effort from `MIDDLESIM_BENCH_EFFORT`.
+pub fn bench_effort() -> Effort {
+    match std::env::var("MIDDLESIM_BENCH_EFFORT").as_deref() {
+        Ok("standard") => Effort::Standard,
+        Ok("full") => Effort::Full,
+        _ => Effort::Quick,
+    }
+}
+
+/// Prints a figure table plus its shape verdict.
+pub fn report(name: &str, table: impl std::fmt::Display, violations: Vec<String>) {
+    println!("\n{table}");
+    if violations.is_empty() {
+        println!("[shape OK] {name}");
+    } else {
+        println!("[shape VIOLATIONS] {name}:");
+        for v in violations {
+            println!("  - {v}");
+        }
+    }
+}

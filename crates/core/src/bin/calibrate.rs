@@ -1,0 +1,51 @@
+//! Calibration probe: prints the headline metrics of both workloads so
+//! model constants can be tuned against the paper's figures.
+
+use memsys::CacheSweep;
+use middlesim::{ecperf_machine, jbb_machine, measure, Effort};
+
+fn main() {
+    let effort = Effort::Quick;
+    println!("=== Uniprocessor sweeps (Figures 12/13) ===");
+    for (name, mk) in [("SPECjbb-4wh", 0usize), ("ECperf", 1)] {
+        let (isweep, dsweep, instr) = if mk == 0 {
+            let mut m = jbb_machine(1, 4, 1, effort);
+            m.attach_sweeps(CacheSweep::paper(), CacheSweep::paper());
+            let r = measure(&mut m, effort);
+            (m.isweep().unwrap().results(), m.dsweep().unwrap().results(), r.cpi.instructions)
+        } else {
+            let mut m = ecperf_machine(1, 1, effort);
+            m.attach_sweeps(CacheSweep::paper(), CacheSweep::paper());
+            let r = measure(&mut m, effort);
+            (m.isweep().unwrap().results(), m.dsweep().unwrap().results(), r.cpi.instructions)
+        };
+        println!("-- {name} (instr={instr}) --");
+        println!("  size      I-miss/1k   D-miss/1k");
+        for ((sz, ip), (_, dp)) in isweep.iter().zip(&dsweep) {
+            println!("  {:>7}KB  {:>9.3}  {:>9.3}", sz >> 10,
+                ip.misses_per_kilo_instr(instr), dp.misses_per_kilo_instr(instr));
+        }
+    }
+
+    println!("\n=== SPECjbb scaling (Figures 4-8) ===");
+    println!("  P   tput     cpi   i-stall d-stall other  user  sys  idle  gcidle  c2c%  gc%  gcs");
+    for p in [1usize, 2, 4, 8, 12, 15] {
+        let mut m = jbb_machine(p, 2 * p.max(1), 1, effort);
+        let r = measure(&mut m, effort);
+        println!("  {:>2} {:>8.0} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>5.2} {:>5.2} {:>5.2} {:>5.2} {:>5.1} {:>4.1} {:>4}",
+            p, r.throughput(), r.cpi.cpi(), r.cpi.instr_stall_cpi(), r.cpi.data_stall_cpi(),
+            r.cpi.other_cpi(), r.modes.user, r.modes.system, r.modes.idle, r.modes.gc_idle,
+            r.c2c_ratio * 100.0, r.gc_cycles as f64 * 100.0 / r.cycles.max(1) as f64, r.gc_count);
+    }
+
+    println!("\n=== ECperf scaling ===");
+    println!("  P   tput     cpi   i-stall d-stall other  user  sys  idle  gcidle  c2c%  gc%  gcs");
+    for p in [1usize, 2, 4, 8, 12, 15] {
+        let mut m = ecperf_machine(p, 1, effort);
+        let r = measure(&mut m, effort);
+        println!("  {:>2} {:>8.0} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>5.2} {:>5.2} {:>5.2} {:>5.2} {:>5.1} {:>4.1} {:>4}",
+            p, r.throughput(), r.cpi.cpi(), r.cpi.instr_stall_cpi(), r.cpi.data_stall_cpi(),
+            r.cpi.other_cpi(), r.modes.user, r.modes.system, r.modes.idle, r.modes.gc_idle,
+            r.c2c_ratio * 100.0, r.gc_cycles as f64 * 100.0 / r.cycles.max(1) as f64, r.gc_count);
+    }
+}

@@ -1,0 +1,122 @@
+//! Regenerates every measured figure of the paper and reports whether the
+//! published shapes hold.
+//!
+//! Usage: `figures [quick|standard|full] [4|5|...|16|ablations|all]`
+
+use middlesim::figures::{self, processor_axis, scaling::run_scaling};
+use middlesim::Effort;
+
+fn effort_from(arg: Option<&str>) -> Effort {
+    match arg {
+        Some("standard") => Effort::Standard,
+        Some("full") => Effort::Full,
+        _ => Effort::Quick,
+    }
+}
+
+fn report(name: &str, table: impl std::fmt::Display, violations: Vec<String>) {
+    println!("{table}");
+    if violations.is_empty() {
+        println!("[shape OK] {name}\n");
+    } else {
+        println!("[shape VIOLATIONS] {name}:");
+        for v in &violations {
+            println!("  - {v}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = effort_from(args.get(1).map(|s| s.as_str()));
+    let which = args.get(2).map(|s| s.as_str()).unwrap_or("all");
+    let ps = processor_axis(effort);
+
+    let scaling_figs = ["4", "5", "6", "7", "8", "9"];
+    if which == "all" || scaling_figs.contains(&which) {
+        eprintln!("running scaling sweep over {ps:?} at {effort:?}...");
+        let data = run_scaling(effort, ps);
+        if which == "all" || which == "4" {
+            let f = figures::fig04::from_data(&data);
+            report("Figure 4", f.table(), f.shape_violations());
+        }
+        if which == "all" || which == "5" {
+            let f = figures::fig05::from_data(&data);
+            report("Figure 5", f.table(), f.shape_violations());
+        }
+        if which == "all" || which == "6" {
+            let f = figures::fig06::from_data(&data);
+            report("Figure 6", f.table(), f.shape_violations());
+        }
+        if which == "all" || which == "7" {
+            let f = figures::fig07::from_data(&data);
+            report("Figure 7", f.table(), f.shape_violations());
+        }
+        if which == "all" || which == "8" {
+            let f = figures::fig08::from_data(&data);
+            report("Figure 8", f.table(), f.shape_violations());
+        }
+        if which == "all" || which == "9" {
+            let f = figures::fig09::from_data(&data);
+            report("Figure 9", f.table(), f.shape_violations());
+        }
+    }
+
+    if which == "all" || which == "10" {
+        eprintln!("running figure 10 trace...");
+        let f = figures::fig10::run(effort, 8);
+        println!(
+            "## Figure 10 summary: c2c/bucket outside GC = {:.0}, during GC = {:.0} ({} GCs)",
+            f.rate_outside_gc(),
+            f.rate_during_gc(),
+            f.gc_count
+        );
+        report("Figure 10", f.table(), f.shape_violations());
+    }
+
+    if which == "all" || which == "11" {
+        eprintln!("running figure 11 scale sweep...");
+        let axis = match effort {
+            Effort::Quick => &figures::fig11::QUICK_SCALE_AXIS[..],
+            _ => &figures::fig11::PAPER_SCALE_AXIS[..],
+        };
+        let f = figures::fig11::run(effort, axis);
+        report("Figure 11", f.table(), f.shape_violations());
+    }
+
+    if which == "all" || which == "12" || which == "13" {
+        eprintln!("running figure 12/13 uniprocessor sweeps...");
+        let data = figures::fig12::run_sweeps(effort);
+        let f12 = figures::fig12::from_data(&data);
+        report("Figure 12", f12.table(), f12.shape_violations());
+        let f13 = figures::fig13::from_data(&data);
+        report("Figure 13", f13.table(), f13.shape_violations());
+    }
+
+    if which == "all" || which == "14" || which == "15" {
+        eprintln!("running figure 14/15 communication footprints...");
+        let f14 = figures::fig14::run(effort, 8);
+        let f15 = figures::fig15::from_fig14(&f14);
+        report("Figure 14", f14.table(), f14.shape_violations());
+        report("Figure 15", f15.table(), f15.shape_violations());
+    }
+
+    if which == "all" || which == "16" {
+        eprintln!("running figure 16 shared-cache topologies...");
+        let f = figures::fig16::run(effort);
+        report("Figure 16", f.table(), f.shape_violations());
+    }
+
+    if which == "all" || which == "ablations" {
+        eprintln!("running ablations...");
+        let ism = figures::ablations::run_ism(effort);
+        report("Ablation: ISM", ism.table(), ism.shape_violations());
+        let pl = figures::ablations::run_path_length(effort, &[1, 4, 8]);
+        report("Ablation: path length", pl.table(), pl.shape_violations());
+        let oc = figures::ablations::run_objcache(effort, 8);
+        report("Ablation: object cache", oc.table(), oc.shape_violations());
+        let cl = figures::ablations::run_c2c_latency(effort, 8);
+        report("Ablation: c2c latency", cl.table(), cl.shape_violations());
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment orchestration: workload factories, warm-up/measurement
+//! windows, and the multi-seed variability methodology.
+//!
+//! Every figure experiment follows the paper's protocol: build the
+//! workload, warm it up (caches, JIT, bean cache, steady-state heap),
+//! reset all statistics, measure a window, and repeat across seeds to get
+//! means and error bars (Section 3.3).
+
+use memsys::{Addr, AddrRange};
+use simstats::{run_seeds, Summary};
+use workloads::ecperf::{Ecperf, EcperfConfig};
+use workloads::model::Workload;
+use workloads::specjbb::{SpecJbb, SpecJbbConfig};
+
+use crate::machine::{Machine, MachineConfig, WindowReport};
+
+/// Base address of the workload's memory region: above the engine's
+/// reserved kernel-tick lines, below nothing else.
+pub const WORKLOAD_BASE: u64 = 0x2000_0000;
+
+/// How hard an experiment works: `Quick` for tests and smoke runs,
+/// `Standard` for the bench harness, `Full` for paper-strength windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Short windows, 1 seed.
+    Quick,
+    /// Medium windows, 3 seeds (bench default).
+    Standard,
+    /// Long windows, 5 seeds.
+    Full,
+}
+
+impl Effort {
+    /// Warm-up length in cycles.
+    pub fn warmup(self) -> u64 {
+        match self {
+            Effort::Quick => 15_000_000,
+            Effort::Standard => 40_000_000,
+            Effort::Full => 120_000_000,
+        }
+    }
+
+    /// Measurement-window length in cycles.
+    pub fn window(self) -> u64 {
+        match self {
+            Effort::Quick => 40_000_000,
+            Effort::Standard => 120_000_000,
+            Effort::Full => 400_000_000,
+        }
+    }
+
+    /// Seeds per configuration (the Alameldeen–Wood methodology).
+    pub fn seeds(self) -> u64 {
+        match self {
+            Effort::Quick => 1,
+            Effort::Standard => 3,
+            Effort::Full => 5,
+        }
+    }
+
+    /// Heap/database scale divisor for reference-driven runs.
+    pub fn scale_divisor(self) -> u64 {
+        match self {
+            Effort::Quick => 32,
+            Effort::Standard => 16,
+            Effort::Full => 8,
+        }
+    }
+}
+
+/// Builds a SPECjbb machine: `warehouses` threads bound to `pset`
+/// processors of a 16-way E6000.
+pub fn jbb_machine(pset: usize, warehouses: usize, seed: u64, effort: Effort) -> Machine<SpecJbb> {
+    let cfg = SpecJbbConfig::scaled(warehouses, effort.scale_divisor());
+    let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+    let wl = SpecJbb::new(cfg, region);
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, wl)
+}
+
+/// Builds a SPECjbb machine from an explicit workload configuration.
+pub fn jbb_machine_with(pset: usize, cfg: SpecJbbConfig, seed: u64) -> Machine<SpecJbb> {
+    let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+    let wl = SpecJbb::new(cfg, region);
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, wl)
+}
+
+/// Builds an ECperf application-server machine: the thread pool is tuned
+/// to the processor count (as the paper tunes per configuration).
+pub fn ecperf_machine(pset: usize, seed: u64, effort: Effort) -> Machine<Ecperf> {
+    let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+    cfg.threads = (pset * 6).clamp(12, 96);
+    cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+    ecperf_machine_with(pset, cfg, seed)
+}
+
+/// Builds an ECperf machine from an explicit workload configuration.
+pub fn ecperf_machine_with(pset: usize, cfg: EcperfConfig, seed: u64) -> Machine<Ecperf> {
+    let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+    let wl = Ecperf::new(cfg, region);
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, wl)
+}
+
+/// Warm up, measure one window, and return the report.
+pub fn measure<W: Workload>(machine: &mut Machine<W>, effort: Effort) -> WindowReport {
+    machine.run_until(effort.warmup());
+    machine.begin_measurement();
+    let start = machine.time();
+    machine.run_until(start + effort.window());
+    machine.window_report()
+}
+
+/// Runs `build` once per seed, measuring `metric` of the window report,
+/// and summarizes (mean ± σ) — the per-point recipe for every figure with
+/// error bars.
+pub fn measure_seeds<W, B, M>(effort: Effort, mut build: B, mut metric: M) -> Summary
+where
+    W: Workload,
+    B: FnMut(u64) -> Machine<W>,
+    M: FnMut(&WindowReport, &Machine<W>) -> f64,
+{
+    run_seeds(effort.seeds(), |seed| {
+        let mut m = build(seed);
+        let report = measure(&mut m, effort);
+        metric(&report, &m)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_levels_are_ordered() {
+        assert!(Effort::Quick.window() < Effort::Standard.window());
+        assert!(Effort::Standard.window() < Effort::Full.window());
+        assert!(Effort::Quick.seeds() <= Effort::Full.seeds());
+    }
+
+    #[test]
+    fn measure_seeds_aggregates() {
+        let s = measure_seeds(
+            Effort::Quick,
+            |seed| jbb_machine(1, 2, seed, Effort::Quick),
+            |r, _| r.transactions as f64,
+        );
+        assert_eq!(s.n(), 1);
+        assert!(s.mean() > 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Ablations and secondary claims from the paper's text.
+//!
+//! - **ISM pages** (Sections 3.2 / 6): enabling Intimate Shared Memory
+//!   (4 MB pages instead of 8 KB) improved ECperf by more than 10% by
+//!   extending TLB reach over the large heap.
+//! - **Path length** (Section 4.4): ECperf's instructions per BBop
+//!   *decrease* as processors are added — object-level caching lets one
+//!   thread reuse entities another fetched — which is how CPI can rise
+//!   while throughput scales super-linearly.
+//! - **Object cache** (Section 4.4's hypothesis): disabling the cache's
+//!   constructive interference removes that effect.
+//! - **Cache-to-cache latency** (Section 4.3): the E6000 pays ~40% over
+//!   memory latency; directory-based NUMA systems pay 200–300%. The
+//!   higher the penalty, the more the sharing-heavy workloads suffer.
+
+use memsys::{Addr, AddrRange};
+use simcpu::LatencyTable;
+use simstats::{fnum, Table};
+use sysos::tlb::TlbConfig;
+use workloads::ecperf::{Ecperf, EcperfConfig};
+
+use crate::experiment::{ecperf_machine, measure, WORKLOAD_BASE};
+use crate::machine::{Machine, MachineConfig};
+use crate::Effort;
+
+/// ISM ablation result.
+#[derive(Debug, Clone)]
+pub struct IsmAblation {
+    /// Throughput with 8 KB base pages.
+    pub base_pages: f64,
+    /// Throughput with 4 MB ISM pages.
+    pub ism_pages: f64,
+}
+
+impl IsmAblation {
+    /// Relative gain from ISM.
+    pub fn gain(&self) -> f64 {
+        if self.base_pages <= 0.0 {
+            0.0
+        } else {
+            self.ism_pages / self.base_pages - 1.0
+        }
+    }
+
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Ablation: Intimate Shared Memory (ECperf, 1 processor)",
+            &["pages", "throughput (BBops/s)", "gain"],
+        );
+        t.row(&["8 KB".into(), fnum(self.base_pages), String::new()]);
+        t.row(&[
+            "4 MB (ISM)".into(),
+            fnum(self.ism_pages),
+            format!("{:+.1}%", self.gain() * 100.0),
+        ]);
+        t
+    }
+
+    /// The paper reports >10% from ISM. Our compressed BBops touch far
+    /// fewer pages per unit of work than the real application server, so
+    /// the modeled gain is smaller; the check guards the *direction*.
+    pub fn shape_violations(&self) -> Vec<String> {
+        if self.gain() < 0.005 {
+            vec![format!(
+                "ISM gain too small: {:+.1}% (paper: >10%)",
+                self.gain() * 100.0
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Runs the ISM ablation on a uniprocessor ECperf at *full* size: TLB
+/// reach only matters against the real heap (the paper's point is that
+/// 64 x 8 KB of reach is nothing next to a 1.4 GB-heap application
+/// server).
+pub fn run_ism(effort: Effort) -> IsmAblation {
+    let run = |tlb: TlbConfig| {
+        let cfg = EcperfConfig::full(10);
+        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+        let mut mc = MachineConfig::e6000(1);
+        mc.tlb = Some(tlb);
+        mc.seed = 1;
+        let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+        m.run_until(4 * effort.window());
+        m.begin_measurement();
+        let start = m.time();
+        m.run_until(start + 4 * effort.window());
+        m.window_report().throughput()
+    };
+    IsmAblation {
+        base_pages: run(TlbConfig::base_pages()),
+        ism_pages: run(TlbConfig::ism_pages()),
+    }
+}
+
+/// Path-length result: `(processors, instructions per BBop, DB round
+/// trips per BBop, bean-cache hit rate)`.
+#[derive(Debug, Clone)]
+pub struct PathLength {
+    /// The series over processor counts.
+    pub points: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Runs the path-length experiment over `ps`.
+pub fn run_path_length(effort: Effort, ps: &[usize]) -> PathLength {
+    let points = ps
+        .iter()
+        .map(|&p| {
+            let mut m = ecperf_machine(p, 1, effort);
+            let r = measure(&mut m, effort);
+            let wl = m.workload();
+            let tx = wl.total_tx().max(1);
+            (
+                p,
+                r.cpi.instructions as f64 / r.transactions.max(1) as f64,
+                wl.db_roundtrips() as f64 / tx as f64,
+                wl.cache().stats().hit_rate(),
+            )
+        })
+        .collect();
+    PathLength { points }
+}
+
+impl PathLength {
+    /// Renders the series.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Ablation: ECperf Path Length vs Processors (Section 4.4)",
+            &["P", "instr/BBop", "DB roundtrips/BBop", "cache hit rate"],
+        );
+        for (p, i, rt, hr) in &self.points {
+            t.row(&[
+                p.to_string(),
+                format!("{i:.0}"),
+                format!("{rt:.2}"),
+                format!("{hr:.3}"),
+            ]);
+        }
+        t
+    }
+
+    /// The paper: instructions per BBop decrease as processors are added.
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let (Some(first), Some(last)) = (self.points.first(), self.points.last()) else {
+            return vec!["empty series".into()];
+        };
+        if last.1 >= first.1 {
+            v.push(format!(
+                "instructions per BBop must fall with P: {:.0} -> {:.0}",
+                first.1, last.1
+            ));
+        }
+        if last.3 <= first.3 {
+            v.push(format!(
+                "bean-cache hit rate must rise with P: {:.3} -> {:.3}",
+                first.3, last.3
+            ));
+        }
+        v
+    }
+}
+
+/// Object-cache ablation: ECperf speedup at `p` processors with the
+/// bean cache's TTL intact vs effectively disabled.
+#[derive(Debug, Clone)]
+pub struct ObjCacheAblation {
+    /// Speedup 1 -> p with the cache.
+    pub with_cache: f64,
+    /// Speedup 1 -> p with a zero-TTL (always-revalidate) cache.
+    pub without_cache: f64,
+    /// The processor count compared.
+    pub p: usize,
+}
+
+/// Runs the object-cache ablation.
+pub fn run_objcache(effort: Effort, p: usize) -> ObjCacheAblation {
+    let run = |ttl: u64, pset: usize| {
+        let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+        cfg.threads = (pset * 6).clamp(12, 96);
+        cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+        cfg.cache_ttl = ttl;
+        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+        let mut mc = MachineConfig::e6000(pset);
+        mc.seed = 1;
+        let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+        measure(&mut m, effort).throughput()
+    };
+    let ttl = EcperfConfig::full(10).cache_ttl;
+    ObjCacheAblation {
+        with_cache: run(ttl, p) / run(ttl, 1).max(f64::MIN_POSITIVE),
+        without_cache: run(0, p) / run(0, 1).max(f64::MIN_POSITIVE),
+        p,
+    }
+}
+
+impl ObjCacheAblation {
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Ablation: Object-Level Caching and ECperf Scaling (1 -> {}p)", self.p),
+            &["configuration", "speedup"],
+        );
+        t.row(&["object cache (TTL on)".into(), fnum(self.with_cache)]);
+        t.row(&["revalidate always (TTL=0)".into(), fnum(self.without_cache)]);
+        t
+    }
+
+    /// The constructive-interference speedup should depend on the cache.
+    pub fn shape_violations(&self) -> Vec<String> {
+        if self.with_cache <= self.without_cache {
+            vec![format!(
+                "cache must improve scaling: with {:.2} vs without {:.2}",
+                self.with_cache, self.without_cache
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Cache-to-cache latency sensitivity: throughput at `p` processors under
+/// increasing remote-fetch penalties.
+#[derive(Debug, Clone)]
+pub struct C2cLatency {
+    /// `(c2c/memory latency factor, SPECjbb throughput, ECperf throughput)`.
+    pub points: Vec<(f64, f64, f64)>,
+    /// The processor count used.
+    pub p: usize,
+}
+
+/// Runs the latency-sensitivity sweep.
+pub fn run_c2c_latency(effort: Effort, p: usize) -> C2cLatency {
+    let factors = [1.0, 1.4, 2.5];
+    let points = factors
+        .iter()
+        .map(|&f| {
+            let lat = LatencyTable::e6000().with_c2c_factor(f);
+            let jbb = {
+                let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * p, effort.scale_divisor());
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(p);
+                mc.latency = lat;
+                mc.seed = 1;
+                let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
+                measure(&mut m, effort).throughput()
+            };
+            let ec = {
+                let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+                cfg.threads = (p * 6).clamp(12, 96);
+                cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(p);
+                mc.latency = lat;
+                mc.seed = 1;
+                let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+                measure(&mut m, effort).throughput()
+            };
+            (f, jbb, ec)
+        })
+        .collect();
+    C2cLatency { points, p }
+}
+
+impl C2cLatency {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Ablation: Cache-to-Cache Latency Sensitivity ({} processors)",
+                self.p
+            ),
+            &["c2c / memory", "SPECjbb tput", "ECperf tput"],
+        );
+        for (f, j, e) in &self.points {
+            t.row(&[format!("{f:.1}x"), fnum(*j), fnum(*e)]);
+        }
+        t
+    }
+
+    /// Higher penalties must not help.
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for w in self.points.windows(2) {
+            if w[1].1 > w[0].1 * 1.05 {
+                v.push("SPECjbb throughput rose with c2c latency".into());
+            }
+            if w[1].2 > w[0].2 * 1.05 {
+                v.push("ECperf throughput rose with c2c latency".into());
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ism_ablation_shows_gain() {
+        let a = run_ism(Effort::Quick);
+        assert!(
+            a.gain() > 0.0,
+            "ISM should help: {} -> {}",
+            a.base_pages,
+            a.ism_pages
+        );
+    }
+}

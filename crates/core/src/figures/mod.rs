@@ -1,0 +1,54 @@
+//! One experiment per measured figure of the paper.
+//!
+//! Each submodule regenerates one figure: it runs the relevant workload
+//! configurations, returns a typed result, renders the same series the
+//! paper plots as a text table, and knows the paper's qualitative
+//! expectations (`shape_violations` returns an empty list when the
+//! reproduction preserves the published shape).
+//!
+//! | Module | Paper figure |
+//! |---|---|
+//! | [`fig04`] | Throughput scaling on the E6000 |
+//! | [`fig05`] | Execution-mode breakdown vs processors |
+//! | [`fig06`] | CPI breakdown vs processors |
+//! | [`fig07`] | Data-stall-time breakdown vs processors |
+//! | [`fig08`] | Cache-to-cache transfer ratio |
+//! | [`fig09`] | Effect of garbage collection on scaling |
+//! | [`fig10`] | Cache-to-cache transfers over time (GC collapse) |
+//! | [`fig11`] | Memory use vs scale factor |
+//! | [`fig12`] | Instruction-cache miss rate vs cache size |
+//! | [`fig13`] | Data-cache miss rate vs cache size |
+//! | [`fig14`] | Distribution of cache-to-cache transfers (percent) |
+//! | [`fig15`] | Distribution of cache-to-cache transfers (absolute) |
+//! | [`fig16`] | Shared-cache miss rates (CMP topologies) |
+//! | [`ablations`] | ISM pages, path length, object cache, c2c latency |
+
+pub mod ablations;
+pub mod scaling;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+
+/// The paper's processor axis for the scaling figures (4–8).
+pub const PAPER_PROCESSORS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 15];
+
+/// A reduced axis for quick runs.
+pub const QUICK_PROCESSORS: [usize; 5] = [1, 2, 4, 8, 12];
+
+/// Picks the processor axis for an effort level.
+pub fn processor_axis(effort: crate::Effort) -> &'static [usize] {
+    match effort {
+        crate::Effort::Quick => &QUICK_PROCESSORS,
+        _ => &PAPER_PROCESSORS,
+    }
+}

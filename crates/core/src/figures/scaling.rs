@@ -1,0 +1,140 @@
+//! Shared runner for the scaling figures (4–9): both workloads swept over
+//! the processor axis, all window reports retained so each figure can
+//! derive its own series without re-simulating.
+
+use crate::experiment::{ecperf_machine, jbb_machine, measure};
+use crate::machine::WindowReport;
+use crate::Effort;
+
+/// One processor count's worth of measurements (one report per seed).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Processors in the set.
+    pub p: usize,
+    /// One window report per seed.
+    pub reports: Vec<WindowReport>,
+}
+
+impl ScalingPoint {
+    /// Mean of `f` across seeds.
+    pub fn mean(&self, f: impl Fn(&WindowReport) -> f64) -> f64 {
+        let s: f64 = self.reports.iter().map(&f).sum();
+        s / self.reports.len() as f64
+    }
+
+    /// Sample standard deviation of `f` across seeds.
+    pub fn stddev(&self, f: impl Fn(&WindowReport) -> f64) -> f64 {
+        if self.reports.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean(&f);
+        let var: f64 = self
+            .reports
+            .iter()
+            .map(|r| (f(r) - mean).powi(2))
+            .sum::<f64>()
+            / (self.reports.len() - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Both workloads' sweeps.
+#[derive(Debug, Clone)]
+pub struct ScalingData {
+    /// Effort the sweep ran at.
+    pub effort: Effort,
+    /// SPECjbb points, ascending processor count.
+    pub jbb: Vec<ScalingPoint>,
+    /// ECperf points, ascending processor count.
+    pub ecperf: Vec<ScalingPoint>,
+}
+
+impl ScalingData {
+    /// Speedup series for a workload: mean throughput normalized to the
+    /// first point's.
+    pub fn speedups(points: &[ScalingPoint]) -> Vec<(usize, f64)> {
+        let base = points
+            .first()
+            .map(|p| p.mean(|r| r.throughput()))
+            .unwrap_or(1.0)
+            .max(f64::MIN_POSITIVE);
+        points
+            .iter()
+            .map(|p| (p.p, p.mean(|r| r.throughput()) / base))
+            .collect()
+    }
+}
+
+/// Runs both workloads over `ps`, `effort.seeds()` times each.
+/// SPECjbb runs with 2P warehouses ("optimal warehouses at each system
+/// size", Section 2.1); ECperf's thread pool is tuned per processor count
+/// (Section 3.2).
+pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
+    let sweep = |is_jbb: bool| -> Vec<ScalingPoint> {
+        ps.iter()
+            .map(|&p| {
+                let reports = (0..effort.seeds())
+                    .map(|seed| {
+                        if is_jbb {
+                            let mut m = jbb_machine(p, 2 * p, seed, effort);
+                            measure(&mut m, effort)
+                        } else {
+                            let mut m = ecperf_machine(p, seed, effort);
+                            measure(&mut m, effort)
+                        }
+                    })
+                    .collect();
+                ScalingPoint { p, reports }
+            })
+            .collect()
+    };
+    ScalingData {
+        effort,
+        jbb: sweep(true),
+        ecperf: sweep(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_point_statistics() {
+        let mk = |tx: u64| WindowReport {
+            transactions: tx,
+            cycles: simcpu::CLOCK_HZ, // 1 second
+            cpi: simcpu::CpiReport::default(),
+            modes: Default::default(),
+            gc_cycles: 0,
+            gc_count: 0,
+            c2c_ratio: 0.0,
+        };
+        let p = ScalingPoint {
+            p: 4,
+            reports: vec![mk(100), mk(200)],
+        };
+        assert!((p.mean(|r| r.throughput()) - 150.0).abs() < 1e-9);
+        assert!(p.stddev(|r| r.throughput()) > 0.0);
+    }
+
+    #[test]
+    fn speedups_normalize_to_first_point() {
+        let mk = |p: usize, tx: u64| ScalingPoint {
+            p,
+            reports: vec![WindowReport {
+                transactions: tx,
+                cycles: simcpu::CLOCK_HZ,
+                cpi: simcpu::CpiReport::default(),
+                modes: Default::default(),
+                gc_cycles: 0,
+                gc_count: 0,
+                c2c_ratio: 0.0,
+            }],
+        };
+        let pts = vec![mk(1, 100), mk(4, 350)];
+        let s = ScalingData::speedups(&pts);
+        assert!((s[0].1 - 1.0).abs() < 1e-9);
+        assert!((s[1].1 - 3.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # middlesim — the characterization harness
+//!
+//! Reproduces every measured figure (4–16) of *"Memory System Behavior of
+//! Java-Based Middleware"* (Karlsson, Moore, Hagersten, Wood — HPCA 2003)
+//! by running the [`workloads`] models on a simulated E6000-class machine.
+//!
+//! - [`machine`] — the discrete-event engine: processors, clocks,
+//!   scheduler, locks, stop-the-world GC, mode accounting;
+//!   
+//! - [`experiment`] — warm-up / measurement-window orchestration and the
+//!   multi-seed variability methodology;
+//! - [`figures`] — one experiment per paper figure, each returning typed
+//!   series and rendering the same rows the figure plots.
+
+pub mod cluster;
+pub mod experiment;
+pub mod figures;
+pub mod machine;
+pub mod score;
+
+pub use experiment::{
+    ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, measure, measure_seeds,
+    Effort,
+};
+pub use cluster::{replay_into_database, run_cluster, ClusterReport};
+pub use machine::{Machine, MachineConfig, TimelineBucket, WindowReport};
+pub use score::{official_run, JbbScore, RampPoint};

@@ -1,0 +1,241 @@
+//! Scheduler semantics, verified with a scripted workload: lock
+//! granting, adaptive spin-vs-park, semaphores, I/O sleeps, preemption,
+//! stop-the-world GC and mode accounting.
+
+use memsys::MemSink;
+use middlesim::{Machine, MachineConfig};
+use workloads::model::{Control, LockDesc, StepCtx, StepResult, Workload};
+
+/// A workload whose threads each follow a fixed script of steps.
+struct Scripted {
+    /// Per-thread scripts: each entry is (busy instructions, control).
+    scripts: Vec<Vec<(u64, Control)>>,
+    /// Per-thread program counters (wrap around).
+    pcs: Vec<usize>,
+    locks: Vec<LockDesc>,
+    /// Execution log of (thread, step index) pairs.
+    log: Vec<(usize, usize)>,
+}
+
+impl Scripted {
+    fn new(scripts: Vec<Vec<(u64, Control)>>, locks: Vec<LockDesc>) -> Self {
+        Scripted {
+            pcs: vec![0; scripts.len()],
+            scripts,
+            locks,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Workload for Scripted {
+    fn thread_count(&self) -> usize {
+        self.scripts.len()
+    }
+
+    fn lock_table(&self) -> Vec<LockDesc> {
+        self.locks.clone()
+    }
+
+    fn step(&mut self, thread: usize, ctx: &mut StepCtx<'_>) -> StepResult {
+        let script = &self.scripts[thread];
+        let pc = self.pcs[thread] % script.len();
+        self.pcs[thread] += 1;
+        self.log.push((thread, pc));
+        let (instr, control) = script[pc];
+        ctx.sink.instructions(instr);
+        // A touch so every step does some memory work.
+        ctx.sink.load(memsys::Addr(0x100_0000 + thread as u64 * 4096));
+        StepResult::user(control)
+    }
+
+    fn collect(&mut self, sink: &mut dyn MemSink) {
+        sink.instructions(100_000);
+    }
+
+    fn heap_after_last_gc(&self) -> Option<u64> {
+        None
+    }
+}
+
+fn machine(w: Scripted, pset: usize) -> Machine<Scripted> {
+    let mut cfg = MachineConfig::e6000(pset);
+    cfg.seed = 1;
+    Machine::new(cfg, w)
+}
+
+#[test]
+fn transactions_are_counted() {
+    let w = Scripted::new(
+        vec![vec![(1_000, Control::Continue), (1_000, Control::TxDone)]],
+        vec![],
+    );
+    let mut m = machine(w, 1);
+    m.run_until(5_000_000);
+    assert!(m.transactions() > 100);
+}
+
+#[test]
+fn mutual_exclusion_serializes_the_critical_region() {
+    // Four threads on four processors fight over one mutex whose
+    // critical region is nearly the whole transaction. Mutual exclusion
+    // bounds throughput by the serialization limit: passages x critical
+    // work cannot exceed elapsed time.
+    let script = vec![
+        (100, Control::Acquire(workloads::SchedLock(0))),
+        (20_000, Control::Release(workloads::SchedLock(0))),
+        (100, Control::TxDone),
+    ];
+    let w = Scripted::new(vec![script; 4], vec![LockDesc::blocking_mutex()]);
+    let mut m = machine(w, 4);
+    let horizon = 50_000_000;
+    m.run_until(horizon);
+    // Critical step: 20k instructions at base CPI 1.3 = 26k cycles each.
+    let critical_cycles = m.transactions() * 26_000;
+    assert!(
+        critical_cycles <= horizon + horizon / 5,
+        "mutex violated: {} passages x 26k cycles > {horizon} cycles",
+        m.transactions()
+    );
+    assert!(m.transactions() > 100, "the lock must still make progress");
+}
+
+#[test]
+fn semaphore_admits_capacity_holders() {
+    // Three threads, a 2-capacity semaphore held across an IoWait: with
+    // capacity 2 the throughput should approach 2 concurrent waits.
+    let script = vec![
+        (100, Control::Acquire(workloads::SchedLock(0))),
+        (100, Control::IoWait(100_000)),
+        (100, Control::Release(workloads::SchedLock(0))),
+        (100, Control::TxDone),
+    ];
+    let sem2 = Scripted::new(vec![script.clone(); 3], vec![LockDesc::semaphore(2)]);
+    let sem1 = Scripted::new(vec![script; 3], vec![LockDesc::semaphore(1)]);
+    let mut m2 = machine(sem2, 3);
+    let mut m1 = machine(sem1, 3);
+    m2.run_until(30_000_000);
+    m1.run_until(30_000_000);
+    let (t2, t1) = (m2.transactions() as f64, m1.transactions() as f64);
+    assert!(
+        t2 > 1.6 * t1,
+        "capacity 2 should nearly double wait throughput: {t1} vs {t2}"
+    );
+}
+
+#[test]
+fn io_waits_overlap_on_one_processor() {
+    // Two threads that mostly sleep: one cpu should interleave them and
+    // get nearly 2x the single-thread transaction rate.
+    let script = vec![(50_000, Control::IoWait(400_000)), (1_000, Control::TxDone)];
+    let two = Scripted::new(vec![script.clone(); 2], vec![]);
+    let one = Scripted::new(vec![script; 1], vec![]);
+    let mut m2 = machine(two, 1);
+    let mut m1 = machine(one, 1);
+    m2.run_until(40_000_000);
+    m1.run_until(40_000_000);
+    assert!(
+        m2.transactions() as f64 > 1.7 * m1.transactions() as f64,
+        "{} vs {}",
+        m1.transactions(),
+        m2.transactions()
+    );
+}
+
+#[test]
+fn preemption_shares_one_processor_between_compute_threads() {
+    // Two pure-compute threads on one cpu: without preemption only one
+    // would ever run.
+    let script = vec![(10_000, Control::Continue), (10_000, Control::TxDone)];
+    let w = Scripted::new(vec![script.clone(), script], vec![]);
+    let mut m = machine(w, 1);
+    m.run_until(200_000_000);
+    let log = &m.workload().log;
+    let t0 = log.iter().filter(|&&(t, _)| t == 0).count();
+    let t1 = log.iter().filter(|&&(t, _)| t == 1).count();
+    assert!(t0 > 0 && t1 > 0, "both threads must run: {t0} / {t1}");
+    let ratio = t0 as f64 / t1 as f64;
+    assert!((0.5..2.0).contains(&ratio), "fair-ish split: {t0} vs {t1}");
+}
+
+#[test]
+fn gc_requests_stop_the_world() {
+    let script = vec![
+        (10_000, Control::Continue),
+        (10_000, Control::NeedsGc),
+        (10_000, Control::TxDone),
+    ];
+    let w = Scripted::new(vec![script; 4], vec![]);
+    let mut m = machine(w, 4);
+    m.run_until(50_000_000);
+    assert!(m.gc_count() > 0);
+    // GC intervals are disjoint and the report carries GC cycles.
+    let report = m.window_report();
+    assert!(report.gc_cycles > 0);
+    for w in m.gc_intervals().windows(2) {
+        assert!(w[1].0 >= w[0].1, "overlapping collections");
+    }
+}
+
+#[test]
+fn spin_locks_charge_busy_time_not_idle() {
+    // Two threads spin-contending one lock at high duty: mode accounting
+    // must show almost no idle.
+    let script = vec![
+        (100, Control::Acquire(workloads::SchedLock(0))),
+        (50_000, Control::Release(workloads::SchedLock(0))),
+        (100, Control::TxDone),
+    ];
+    let w = Scripted::new(vec![script; 2], vec![LockDesc::spin_mutex()]);
+    let mut m = machine(w, 2);
+    m.run_until(10_000_000);
+    m.begin_measurement();
+    let s = m.time();
+    m.run_until(s + 30_000_000);
+    let modes = m.window_report().modes;
+    assert!(
+        modes.idle < 0.05,
+        "spinners keep their processors busy: idle {:.2}",
+        modes.idle
+    );
+}
+
+#[test]
+fn blocking_locks_produce_idle_under_saturation() {
+    // Four threads serialize on one *parking* mutex on four processors:
+    // three processors have nothing to run most of the time.
+    let script = vec![
+        (100, Control::Acquire(workloads::SchedLock(0))),
+        (50_000, Control::Release(workloads::SchedLock(0))),
+        (100, Control::TxDone),
+    ];
+    let w = Scripted::new(vec![script; 4], vec![LockDesc::blocking_mutex()]);
+    let mut m = machine(w, 4);
+    m.run_until(10_000_000);
+    m.begin_measurement();
+    let s = m.time();
+    m.run_until(s + 30_000_000);
+    let modes = m.window_report().modes;
+    assert!(
+        modes.idle > 0.4,
+        "serialized workload must idle the other processors: idle {:.2}",
+        modes.idle
+    );
+}
+
+#[test]
+fn window_reset_isolates_measurements() {
+    let script = vec![(5_000, Control::TxDone)];
+    let w = Scripted::new(vec![script; 2], vec![]);
+    let mut m = machine(w, 2);
+    m.run_until(10_000_000);
+    let before = m.transactions();
+    m.begin_measurement();
+    let r0 = m.window_report();
+    assert_eq!(r0.transactions, 0, "fresh window starts empty");
+    let s = m.time();
+    m.run_until(s + 10_000_000);
+    let r1 = m.window_report();
+    assert!(r1.transactions > 0);
+    assert!(m.transactions() > before);
+}

@@ -1,0 +1,87 @@
+//! Engine smoke tests: the machine must drive both workloads to steady
+//! state without deadlock and produce physically sensible reports.
+
+use memsys::{Addr, AddrRange};
+use middlesim::{Machine, MachineConfig};
+use workloads::ecperf::{Ecperf, EcperfConfig};
+use workloads::specjbb::{SpecJbb, SpecJbbConfig};
+
+const MCYCLES: u64 = 1_000_000;
+
+fn jbb(pset: usize, warehouses: usize, seed: u64) -> Machine<SpecJbb> {
+    let cfg = SpecJbbConfig::scaled(warehouses, 64);
+    let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
+    let wl = SpecJbb::new(cfg, region);
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, wl)
+}
+
+fn ecperf(pset: usize, ir: u32, seed: u64) -> Machine<Ecperf> {
+    let mut cfg = EcperfConfig::scaled(ir, 64);
+    cfg.threads = (pset * 3).max(4);
+    cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+    let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
+    let wl = Ecperf::new(cfg, region);
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, wl)
+}
+
+#[test]
+fn specjbb_runs_to_horizon_and_completes_transactions() {
+    let mut m = jbb(2, 4, 1);
+    m.run_until(20 * MCYCLES);
+    m.begin_measurement();
+    m.run_until(60 * MCYCLES);
+    let r = m.window_report();
+    assert!(r.transactions > 100, "txs: {}", r.transactions);
+    assert!(r.cpi.cpi() > 1.3 && r.cpi.cpi() < 6.0, "cpi: {}", r.cpi.cpi());
+    let b = r.modes;
+    assert!((b.sum() - 1.0).abs() < 0.02, "modes sum: {}", b.sum());
+    assert!(b.user > 0.3, "user share: {b}");
+}
+
+#[test]
+fn ecperf_runs_with_kernel_time_and_io() {
+    let mut m = ecperf(2, 2, 1);
+    m.run_until(20 * MCYCLES);
+    m.begin_measurement();
+    m.run_until(60 * MCYCLES);
+    let r = m.window_report();
+    assert!(r.transactions > 20, "bbops: {}", r.transactions);
+    assert!(r.modes.system > 0.01, "system share: {}", r.modes.system);
+    assert!(r.cpi.cpi() > 1.3, "cpi: {}", r.cpi.cpi());
+}
+
+#[test]
+fn specjbb_gc_happens_and_is_visible() {
+    let mut m = jbb(2, 4, 2);
+    m.run_until(120 * MCYCLES);
+    assert!(m.gc_count() > 0, "GCs: {}", m.gc_count());
+    assert!(!m.gc_intervals().is_empty());
+}
+
+#[test]
+fn multiprocessor_c2c_ratio_grows_with_processors() {
+    let measure = |p: usize| {
+        let mut m = jbb(p, 2 * p.max(2), 3);
+        m.run_until(15 * MCYCLES);
+        m.begin_measurement();
+        m.run_until(45 * MCYCLES);
+        m.window_report().c2c_ratio
+    };
+    let r2 = measure(2);
+    let r8 = measure(8);
+    assert!(r8 > r2, "c2c ratio must grow with P: {r2:.3} -> {r8:.3}");
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let mut m = jbb(2, 4, 7);
+        m.run_until(30 * MCYCLES);
+        (m.transactions(), m.memory().stats().total_accesses())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,58 @@
+//! # jvm — a HotSpot-1.3.1-like JVM substrate
+//!
+//! The managed-runtime half of the workload models for the HPCA 2003 paper
+//! *"Memory System Behavior of Java-Based Middleware"*: both SPECjbb and
+//! ECperf are Java programs, and several of the paper's findings (GC idle
+//! time, the collapse of cache-to-cache transfers during collection, the
+//! live-memory scaling of Figure 11) are properties of the JVM rather than
+//! of the benchmarks themselves.
+//!
+//! Components:
+//!
+//! - [`heap::Heap`] — the paper's tuned heap geometry (1424 MB, 400 MB new
+//!   generation) with eden / survivor semi-spaces / old generation;
+//! - [`alloc::Tlab`] — thread-local bump allocation;
+//! - [`gc`] — single-threaded, stop-the-world generational collection
+//!   (copying minor GC, mark-compact major GC) that emits its own memory
+//!   traffic;
+//! - [`lock::LockSet`] — inflated monitors, one lock word per cache line;
+//! - [`codecache::CodeCache`] — compiled-method layout and ifetch streams;
+//! - [`thread::JavaThread`] — stacks and TLABs per thread.
+//!
+//! ## Example
+//!
+//! ```
+//! use jvm::alloc::Tlab;
+//! use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+//! use jvm::object::Lifetime;
+//! use memsys::{Addr, AddrRange, CountingSink};
+//!
+//! let cfg = HeapConfig {
+//!     geometry: HeapGeometry::paper_scaled(64),
+//!     ..HeapConfig::default()
+//! };
+//! let mut heap = Heap::new(cfg, AddrRange::new(Addr(0x2000_0000), 64 << 20));
+//! let mut tlab = Tlab::new();
+//! let mut sink = CountingSink::new();
+//! let id = tlab
+//!     .alloc(&mut heap, 128, Lifetime::Ephemeral, &mut sink)
+//!     .ok()
+//!     .expect("eden has room");
+//! assert!(heap.range_of(id).len() >= 128);
+//! ```
+
+pub mod alloc;
+pub mod codecache;
+pub mod gc;
+pub mod heap;
+pub mod lock;
+pub mod object;
+pub mod thread;
+
+pub use alloc::{AllocOutcome, Tlab};
+pub use codecache::{CodeCache, MethodId, INSTRUCTIONS_PER_LINE};
+pub use gc::{GcKind, GcOutcome, MAJOR_GC_THRESHOLD};
+pub use heap::{Heap, HeapConfig, HeapGeometry, HeapStats};
+pub use lock::{LockId, LockSet};
+pub use object::{Lifetime, ObjectId, ObjectRecord, ObjectTable, Space};
+pub use thread::{carve_stacks, JavaThread};

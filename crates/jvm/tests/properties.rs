@@ -1,0 +1,157 @@
+//! Property-based verification of the heap and collector.
+
+use proptest::prelude::*;
+
+use jvm::alloc::Tlab;
+use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+use jvm::object::{Lifetime, ObjectId};
+use memsys::{Addr, AddrRange, CountingSink};
+
+fn small_heap() -> Heap {
+    Heap::new(
+        HeapConfig {
+            geometry: HeapGeometry {
+                eden: 256 << 10,
+                survivor: 64 << 10,
+                old: 1 << 20,
+            },
+            tenure_age: 1,
+            tlab_bytes: 8 << 10,
+        },
+        AddrRange::new(Addr(0x4000_0000), 8 << 20),
+    )
+}
+
+/// One randomized heap operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    AllocEphemeral(u16),
+    AllocSession(u16, u8),
+    AllocPermanent(u16),
+    FreeOldest,
+    AdvanceEpoch(u8),
+    MinorGc,
+    MajorGc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (32u16..2048).prop_map(Op::AllocEphemeral),
+        ((32u16..1024), (1u8..40)).prop_map(|(s, e)| Op::AllocSession(s, e)),
+        (32u16..1024).prop_map(Op::AllocPermanent),
+        Just(Op::FreeOldest),
+        (1u8..8).prop_map(Op::AdvanceEpoch),
+        Just(Op::MinorGc),
+        Just(Op::MajorGc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary operation sequences: live permanent objects survive
+    /// every collection, their address ranges stay disjoint, and heap
+    /// occupancy never exceeds the configured spaces.
+    #[test]
+    fn gc_preserves_live_objects(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut heap = small_heap();
+        let mut tlab = Tlab::new();
+        let mut sink = CountingSink::new();
+        let mut live_permanent: Vec<ObjectId> = Vec::new();
+
+        for &op in &ops {
+            match op {
+                Op::AllocEphemeral(size) => {
+                    if let Some(_id) =
+                        tlab.alloc(&mut heap, size as u32, Lifetime::Ephemeral, &mut sink).ok()
+                    {
+                        // ephemeral: forgotten immediately
+                    } else {
+                        tlab.retire();
+                        heap.minor_gc(&mut sink);
+                    }
+                }
+                Op::AllocSession(size, epochs) => {
+                    let lt = Lifetime::Session {
+                        expires_epoch: heap.epoch() + epochs as u64,
+                    };
+                    if tlab.alloc(&mut heap, size as u32, lt, &mut sink).ok().is_none() {
+                        tlab.retire();
+                        heap.minor_gc(&mut sink);
+                    }
+                }
+                Op::AllocPermanent(size) => {
+                    match tlab.alloc(&mut heap, size as u32, Lifetime::Permanent, &mut sink).ok() {
+                        Some(id) => live_permanent.push(id),
+                        None => {
+                            tlab.retire();
+                            heap.minor_gc(&mut sink);
+                        }
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live_permanent.is_empty() {
+                        let id = live_permanent.remove(0);
+                        heap.free(id);
+                    }
+                }
+                Op::AdvanceEpoch(n) => heap.advance_epoch(n as u64),
+                Op::MinorGc => {
+                    tlab.retire();
+                    heap.minor_gc(&mut sink);
+                }
+                Op::MajorGc => {
+                    heap.major_gc(&mut sink);
+                }
+            }
+
+            // Invariant: all live permanents are still live.
+            for &id in &live_permanent {
+                prop_assert!(heap.is_live(id), "permanent {id:?} died");
+            }
+            // Invariant: live permanent ranges are pairwise disjoint.
+            for i in 0..live_permanent.len() {
+                for j in (i + 1)..live_permanent.len() {
+                    let a = heap.range_of(live_permanent[i]);
+                    let b = heap.range_of(live_permanent[j]);
+                    prop_assert!(!a.overlaps(&b), "{a} overlaps {b}");
+                }
+            }
+            // Invariant: occupancy bounded by the configured spaces.
+            prop_assert!(heap.occupied_bytes() <= (64 << 10) + (1 << 20));
+        }
+
+        // Final full collection: occupancy equals the live permanents
+        // plus survivors of unexpired sessions.
+        tlab.retire();
+        heap.minor_gc(&mut sink);
+        heap.major_gc(&mut sink);
+        let live_bytes: u64 = live_permanent.iter().map(|&id| heap.size_of(id) as u64).sum();
+        prop_assert!(
+            heap.occupied_bytes() >= live_bytes,
+            "occupancy {} below live permanent bytes {live_bytes}",
+            heap.occupied_bytes()
+        );
+    }
+
+    /// Collection moves objects only between the configured spaces and
+    /// never loses allocated-byte accounting.
+    #[test]
+    fn statistics_are_monotone(sizes in prop::collection::vec(32u32..4096, 1..200)) {
+        let mut heap = small_heap();
+        let mut tlab = Tlab::new();
+        let mut sink = CountingSink::new();
+        let mut allocated = 0u64;
+        for &size in &sizes {
+            match tlab.alloc(&mut heap, size, Lifetime::Ephemeral, &mut sink).ok() {
+                Some(id) => allocated += heap.size_of(id) as u64,
+                None => {
+                    tlab.retire();
+                    heap.minor_gc(&mut sink);
+                }
+            }
+        }
+        prop_assert!(heap.stats().allocated_bytes >= allocated);
+        prop_assert!(heap.stats().allocated_objects <= sizes.len() as u64);
+    }
+}

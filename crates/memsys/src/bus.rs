@@ -1,0 +1,73 @@
+//! Snooping-bus transaction accounting.
+//!
+//! The E6000's Gigaplane bus broadcasts every L2 miss and upgrade to all
+//! other caches. This module counts those transactions and the snoop
+//! copybacks they trigger; the actual snoop *logic* lives in
+//! [`crate::system::MemorySystem`], which owns the caches.
+
+use crate::protocol::BusOp;
+
+/// Counters for one snooping bus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// `GetS` transactions (read misses).
+    pub gets: u64,
+    /// `GetX` transactions (write misses).
+    pub getx: u64,
+    /// Ownership upgrades (no data transfer).
+    pub upgrades: u64,
+    /// Snoop copybacks: transactions answered by a dirty remote cache.
+    pub snoop_copybacks: u64,
+    /// Writebacks of dirty victims to memory.
+    pub writebacks: u64,
+}
+
+impl BusStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        BusStats::default()
+    }
+
+    /// Records a transaction and whether a remote cache supplied the data.
+    pub fn record(&mut self, op: BusOp, supplied_by_cache: bool) {
+        match op {
+            BusOp::GetS => self.gets += 1,
+            BusOp::GetX => self.getx += 1,
+            BusOp::Upgrade => self.upgrades += 1,
+        }
+        if supplied_by_cache {
+            self.snoop_copybacks += 1;
+        }
+    }
+
+    /// Records a dirty-victim writeback.
+    pub fn record_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
+    /// Total address transactions (data-carrying or not).
+    pub fn total_transactions(&self) -> u64 {
+        self.gets + self.getx + self.upgrades + self.writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_op() {
+        let mut b = BusStats::new();
+        b.record(BusOp::GetS, false);
+        b.record(BusOp::GetS, true);
+        b.record(BusOp::GetX, true);
+        b.record(BusOp::Upgrade, false);
+        b.record_writeback();
+        assert_eq!(b.gets, 2);
+        assert_eq!(b.getx, 1);
+        assert_eq!(b.upgrades, 1);
+        assert_eq!(b.snoop_copybacks, 2);
+        assert_eq!(b.writebacks, 1);
+        assert_eq!(b.total_transactions(), 5);
+    }
+}

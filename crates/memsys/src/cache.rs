@@ -1,0 +1,271 @@
+//! A single set-associative cache with true-LRU replacement.
+//!
+//! The cache tracks tags and coherence states only (the simulator never
+//! stores data). Storage is flattened into contiguous per-set way arrays
+//! kept in MRU-first order, so a hit is a short scan and an LRU update is a
+//! small rotate — fast enough to stream hundreds of millions of references.
+
+use crate::addr::{Addr, LineAddr};
+use crate::config::CacheConfig;
+use crate::protocol::LineState;
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// Its state at eviction (dirty states require a writeback).
+    pub state: LineState,
+}
+
+/// A set-associative, true-LRU cache of coherence states.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    block_bits: u32,
+    set_mask: u64,
+    ways: usize,
+    /// `sets * ways` tags, MRU-first within each set. The tag stored is the
+    /// full line-address-above-index (block and index bits removed).
+    tags: Vec<u64>,
+    states: Vec<LineState>,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        let ways = cfg.ways as usize;
+        Cache {
+            cfg,
+            block_bits: cfg.block_bits(),
+            set_mask: (sets as u64) - 1,
+            ways,
+            tags: vec![0; sets * ways],
+            states: vec![LineState::Invalid; sets * ways],
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index_tag(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.0 >> self.block_bits;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        (set, tag)
+    }
+
+    #[inline]
+    fn line_addr(&self, set: usize, tag: u64) -> LineAddr {
+        // Reconstruct a line address in units of *this cache's* block size,
+        // then convert to coherence-unit line addressing via the base().
+        let line = (tag << self.set_mask.count_ones()) | set as u64;
+        Addr(line << self.block_bits).line()
+    }
+
+    /// Looks up `addr` without disturbing LRU order.
+    ///
+    /// Returns the line's state if present and valid.
+    pub fn probe(&self, addr: Addr) -> Option<LineState> {
+        let (set, tag) = self.index_tag(addr);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.states[base + w].is_valid() && self.tags[base + w] == tag {
+                return Some(self.states[base + w]);
+            }
+        }
+        None
+    }
+
+    /// Looks up `addr`, promoting it to MRU on a hit.
+    pub fn touch(&mut self, addr: Addr) -> Option<LineState> {
+        let (set, tag) = self.index_tag(addr);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.states[base + w].is_valid() && self.tags[base + w] == tag {
+                let st = self.states[base + w];
+                self.promote(base, w);
+                return Some(st);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn promote(&mut self, base: usize, way: usize) {
+        if way == 0 {
+            return;
+        }
+        let tag = self.tags[base + way];
+        let st = self.states[base + way];
+        self.tags.copy_within(base..base + way, base + 1);
+        self.states.copy_within(base..base + way, base + 1);
+        self.tags[base] = tag;
+        self.states[base] = st;
+    }
+
+    /// Inserts (fills) `addr` with `state`, evicting the LRU way if the set
+    /// is full. Returns the evicted line, if any. The filled line becomes
+    /// MRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already present — fills must
+    /// follow a miss.
+    pub fn insert(&mut self, addr: Addr, state: LineState) -> Option<Evicted> {
+        debug_assert!(
+            self.probe(addr).is_none(),
+            "fill of already-present line {addr}"
+        );
+        let (set, tag) = self.index_tag(addr);
+        let base = set * self.ways;
+        // Prefer filling an invalid way (the LRU-most one to keep order tidy).
+        let mut victim = self.ways - 1;
+        for w in (0..self.ways).rev() {
+            if !self.states[base + w].is_valid() {
+                victim = w;
+                break;
+            }
+        }
+        let evicted = if self.states[base + victim].is_valid() {
+            Some(Evicted {
+                line: self.line_addr(set, self.tags[base + victim]),
+                state: self.states[base + victim],
+            })
+        } else {
+            None
+        };
+        self.tags[base + victim] = tag;
+        self.states[base + victim] = state;
+        self.promote(base, victim);
+        evicted
+    }
+
+    /// Overwrites the state of a present line; returns the old state, or
+    /// `None` if the line is not cached.
+    pub fn set_state(&mut self, addr: Addr, state: LineState) -> Option<LineState> {
+        let (set, tag) = self.index_tag(addr);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.states[base + w].is_valid() && self.tags[base + w] == tag {
+                let old = self.states[base + w];
+                self.states[base + w] = state;
+                return Some(old);
+            }
+        }
+        None
+    }
+
+    /// Invalidates a line if present; returns its prior state.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
+        self.set_state(addr, LineState::Invalid).filter(|s| s.is_valid())
+    }
+
+    /// Number of valid lines currently resident (O(capacity); for tests and
+    /// diagnostics).
+    pub fn resident_lines(&self) -> usize {
+        self.states.iter().filter(|s| s.is_valid()).count()
+    }
+
+    /// Clears the cache to the empty state.
+    pub fn clear(&mut self) {
+        self.states.fill(LineState::Invalid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets x 2 ways x 64B = 256B cache.
+        Cache::new(CacheConfig::new(256, 2, 64).unwrap())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.probe(Addr(0)), None);
+        assert_eq!(c.insert(Addr(0), LineState::Shared), None);
+        assert_eq!(c.probe(Addr(0)), Some(LineState::Shared));
+        assert_eq!(c.probe(Addr(63)), Some(LineState::Shared), "same line");
+        assert_eq!(c.probe(Addr(64)), None, "next line maps to other set");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 holds lines whose (line % 2 == 0): byte addrs 0, 128, 256...
+        c.insert(Addr(0), LineState::Shared);
+        c.insert(Addr(128), LineState::Shared);
+        // Touch line 0 so line at 128 becomes LRU.
+        assert!(c.touch(Addr(0)).is_some());
+        let ev = c.insert(Addr(256), LineState::Shared).unwrap();
+        assert_eq!(ev.line, Addr(128).line());
+        assert_eq!(c.probe(Addr(0)), Some(LineState::Shared));
+        assert_eq!(c.probe(Addr(128)), None);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_state() {
+        let mut c = small();
+        c.insert(Addr(0), LineState::Modified);
+        c.insert(Addr(128), LineState::Shared);
+        c.touch(Addr(128));
+        let ev = c.insert(Addr(256), LineState::Shared).unwrap();
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(ev.line, Addr(0).line());
+    }
+
+    #[test]
+    fn invalid_way_preferred_over_eviction() {
+        let mut c = small();
+        c.insert(Addr(0), LineState::Shared);
+        assert_eq!(c.insert(Addr(128), LineState::Shared), None);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = small();
+        c.insert(Addr(0), LineState::Exclusive);
+        assert_eq!(
+            c.set_state(Addr(0), LineState::Modified),
+            Some(LineState::Exclusive)
+        );
+        assert_eq!(c.probe(Addr(0)), Some(LineState::Modified));
+        assert_eq!(c.invalidate(Addr(0)), Some(LineState::Modified));
+        assert_eq!(c.probe(Addr(0)), None);
+        assert_eq!(c.invalidate(Addr(0)), None);
+    }
+
+    #[test]
+    fn evicted_line_address_reconstructed() {
+        let mut c = Cache::new(CacheConfig::new(1 << 14, 4, 64).unwrap());
+        let addr = Addr(0xdead_b000);
+        c.insert(addr, LineState::Owned);
+        // Fill the same set with conflicting lines to force eviction.
+        let sets = c.config().sets();
+        let stride = sets * 64;
+        let mut evicted = None;
+        for i in 1..=4 {
+            evicted = c.insert(Addr(addr.0 + i * stride), LineState::Shared);
+            if evicted.is_some() {
+                break;
+            }
+        }
+        assert_eq!(evicted.unwrap().line, addr.line());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = small();
+        c.insert(Addr(0), LineState::Modified);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! The coherent multiprocessor memory system.
+//!
+//! Models the paper's hardware: per-processor split L1 I/D caches backed by
+//! unified L2 caches kept coherent with a MOESI write-invalidate snooping
+//! protocol over a shared bus. L1 data caches are write-through and
+//! no-write-allocate (as on the UltraSPARC II), so coherence state lives
+//! entirely in the L2s; L1s hold clean copies and are kept inclusive by
+//! invalidation on L2 eviction and remote ownership requests.
+//!
+//! The same type models the Figure 16 chip-multiprocessor topologies by
+//! letting several processors share each L2 ([`HierarchyConfig::cpus_per_l2`]).
+
+use crate::addr::Addr;
+use crate::bus::BusStats;
+use crate::cache::Cache;
+use crate::config::{ConfigError, HierarchyConfig};
+use crate::linestats::LineStats;
+use crate::protocol::{BusOp, LineState};
+use crate::stats::{AccessKind, AccessOutcome, HitLevel, SystemStats};
+
+/// A full multiprocessor cache hierarchy with snooping coherence.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    cfg: HierarchyConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Vec<Cache>,
+    stats: SystemStats,
+    bus: BusStats,
+    linestats: Option<LineStats>,
+}
+
+impl MemorySystem {
+    /// Builds an empty memory system from a validated configuration.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        let l2_count = cfg.l2_count();
+        MemorySystem {
+            cfg,
+            l1i: (0..cfg.cpus).map(|_| Cache::new(cfg.l1i)).collect(),
+            l1d: (0..cfg.cpus).map(|_| Cache::new(cfg.l1d)).collect(),
+            l2: (0..l2_count).map(|_| Cache::new(cfg.l2)).collect(),
+            stats: SystemStats::new(cfg.cpus),
+            bus: BusStats::new(),
+            linestats: None,
+        }
+    }
+
+    /// Convenience constructor: an E6000-like system with `cpus` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cpus` is zero.
+    pub fn e6000(cpus: usize) -> Result<Self, ConfigError> {
+        Ok(MemorySystem::new(HierarchyConfig::e6000(cpus)?))
+    }
+
+    /// The system's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Bus transaction statistics.
+    pub fn bus_stats(&self) -> &BusStats {
+        &self.bus
+    }
+
+    /// Enables per-line communication tracking (Figures 14/15). Costs one
+    /// hash update per reference.
+    pub fn enable_line_stats(&mut self) {
+        if self.linestats.is_none() {
+            self.linestats = Some(LineStats::new());
+        }
+    }
+
+    /// The per-line tracker, if enabled.
+    pub fn line_stats(&self) -> Option<&LineStats> {
+        self.linestats.as_ref()
+    }
+
+    /// Resets all statistics (caches keep their contents — use this to end
+    /// a warm-up phase and start a measurement window).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.bus = BusStats::new();
+        if let Some(ls) = &mut self.linestats {
+            ls.reset();
+        }
+    }
+
+    /// Number of processors.
+    pub fn cpus(&self) -> usize {
+        self.cfg.cpus
+    }
+
+    /// Performs one memory reference by processor `cpu` and returns its
+    /// outcome. This is the simulator's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn access(&mut self, cpu: usize, kind: AccessKind, addr: Addr) -> AccessOutcome {
+        assert!(cpu < self.cfg.cpus, "cpu {cpu} out of range");
+        if let Some(ls) = &mut self.linestats {
+            ls.record_touch(addr.line());
+        }
+        let outcome = match kind {
+            AccessKind::Ifetch => self.access_through(cpu, addr, /* store: */ false, true),
+            AccessKind::Load => self.access_through(cpu, addr, false, false),
+            AccessKind::Store => self.access_through(cpu, addr, true, false),
+        };
+        self.stats.record(cpu, kind, &outcome);
+        if outcome.c2c {
+            if let Some(ls) = &mut self.linestats {
+                ls.record_c2c(addr.line());
+            }
+        }
+        outcome
+    }
+
+    fn access_through(
+        &mut self,
+        cpu: usize,
+        addr: Addr,
+        store: bool,
+        ifetch: bool,
+    ) -> AccessOutcome {
+        let group = self.cfg.l2_group(cpu);
+        let l1 = if ifetch {
+            &mut self.l1i[cpu]
+        } else {
+            &mut self.l1d[cpu]
+        };
+        let l1_hit = l1.touch(addr).is_some();
+
+        if !store {
+            if l1_hit {
+                return AccessOutcome::hit(HitLevel::L1);
+            }
+            let outcome = self.read_l2(group, addr);
+            self.fill_l1(cpu, addr, ifetch);
+            return outcome;
+        }
+
+        // Stores: write-through L1 (update only if present, no allocate),
+        // then act on the L2 line's coherence state.
+        match self.l2[group].touch(addr) {
+            Some(LineState::Modified) => {
+                if l1_hit {
+                    AccessOutcome::hit(HitLevel::L1)
+                } else {
+                    AccessOutcome::hit(HitLevel::L2)
+                }
+            }
+            Some(LineState::Exclusive) => {
+                // Silent E -> M upgrade, no bus traffic.
+                self.l2[group].set_state(addr, LineState::Modified);
+                if l1_hit {
+                    AccessOutcome::hit(HitLevel::L1)
+                } else {
+                    AccessOutcome::hit(HitLevel::L2)
+                }
+            }
+            Some(LineState::Shared) | Some(LineState::Owned) => {
+                // Bus upgrade: invalidate all other copies.
+                self.invalidate_remote(group, addr);
+                self.l2[group].set_state(addr, LineState::Modified);
+                self.bus.record(BusOp::Upgrade, false);
+                AccessOutcome::hit(HitLevel::Upgrade)
+            }
+            Some(LineState::Invalid) | None => self.write_miss(cpu, group, addr),
+        }
+    }
+
+    fn read_l2(&mut self, group: usize, addr: Addr) -> AccessOutcome {
+        if self.l2[group].touch(addr).is_some() {
+            return AccessOutcome::hit(HitLevel::L2);
+        }
+        // L2 read miss: GetS on the bus.
+        let (supplied, any_remote) = self.snoop_read(group, addr);
+        self.bus.record(BusOp::GetS, supplied);
+        let fill_state = if any_remote {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        let writeback = self.fill_l2(group, addr, fill_state);
+        AccessOutcome {
+            level: if supplied {
+                HitLevel::CacheToCache
+            } else {
+                HitLevel::Memory
+            },
+            c2c: supplied,
+            writeback,
+        }
+    }
+
+    fn write_miss(&mut self, cpu: usize, group: usize, addr: Addr) -> AccessOutcome {
+        // GetX: take ownership, invalidating every other copy. A dirty
+        // remote owner supplies the data (snoop copyback).
+        let supplied = self.snoop_write(group, addr);
+        self.bus.record(BusOp::GetX, supplied);
+        let writeback = self.fill_l2(group, addr, LineState::Modified);
+        // No-write-allocate L1: the store completes in the L2. But if the
+        // L1 happens to hold a stale copy it was already updated via the
+        // write-through path (touch above found it).
+        let _ = cpu;
+        AccessOutcome {
+            level: if supplied {
+                HitLevel::CacheToCache
+            } else {
+                HitLevel::Memory
+            },
+            c2c: supplied,
+            writeback,
+        }
+    }
+
+    /// Snoops a read: downgrade remote holders, report whether a dirty
+    /// remote cache supplied the data and whether any remote copy exists.
+    fn snoop_read(&mut self, requester: usize, addr: Addr) -> (bool, bool) {
+        let mut supplied = false;
+        let mut any = false;
+        for g in 0..self.l2.len() {
+            if g == requester {
+                continue;
+            }
+            if let Some(state) = self.l2[g].probe(addr) {
+                any = true;
+                if state.supplies_data() {
+                    supplied = true;
+                }
+                let next = state.after_remote_read();
+                if next != state {
+                    self.l2[g].set_state(addr, next);
+                }
+            }
+        }
+        (supplied, any)
+    }
+
+    /// Snoops a write: invalidate all remote copies (L2 and the inclusive
+    /// L1s above them); returns whether a dirty remote owner supplied data.
+    fn snoop_write(&mut self, requester: usize, addr: Addr) -> bool {
+        let mut supplied = false;
+        for g in 0..self.l2.len() {
+            if g == requester {
+                continue;
+            }
+            if let Some(state) = self.l2[g].probe(addr) {
+                if state.supplies_data() {
+                    supplied = true;
+                }
+                self.l2[g].invalidate(addr);
+                self.invalidate_l1s_of_group(g, addr);
+            }
+        }
+        supplied
+    }
+
+    /// Invalidates remote L2 + L1 copies (upgrade path).
+    fn invalidate_remote(&mut self, requester: usize, addr: Addr) {
+        for g in 0..self.l2.len() {
+            if g == requester {
+                continue;
+            }
+            if self.l2[g].invalidate(addr).is_some() {
+                self.invalidate_l1s_of_group(g, addr);
+            }
+        }
+    }
+
+    fn invalidate_l1s_of_group(&mut self, group: usize, addr: Addr) {
+        let first = group * self.cfg.cpus_per_l2;
+        for cpu in first..first + self.cfg.cpus_per_l2 {
+            self.l1i[cpu].invalidate(addr);
+            self.l1d[cpu].invalidate(addr);
+        }
+    }
+
+    /// Fills the group's L2, handling the victim: dirty victims write back
+    /// to memory; all victims are invalidated in the group's L1s to keep
+    /// inclusion. Returns whether a writeback occurred.
+    fn fill_l2(&mut self, group: usize, addr: Addr, state: LineState) -> bool {
+        let evicted = self.l2[group].insert(addr, state);
+        match evicted {
+            Some(victim) => {
+                self.invalidate_l1s_of_group(group, victim.line.base());
+                if victim.state.is_dirty() {
+                    self.bus.record_writeback();
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Fills the referencing processor's L1 with a clean copy after a read.
+    /// L1 victims are clean (write-through), so eviction is silent.
+    fn fill_l1(&mut self, cpu: usize, addr: Addr, ifetch: bool) {
+        let l1 = if ifetch {
+            &mut self.l1i[cpu]
+        } else {
+            &mut self.l1d[cpu]
+        };
+        if l1.probe(addr).is_none() {
+            let _ = l1.insert(addr, LineState::Shared);
+        }
+    }
+
+    /// Total bytes of L2 capacity in the system (for reporting).
+    pub fn total_l2_capacity(&self) -> u64 {
+        self.cfg.l2.capacity * self.l2.len() as u64
+    }
+
+    /// The coherence state of `addr` in every L2, by group — diagnostics
+    /// and invariant checking (e.g. the single-writer property).
+    pub fn l2_states(&self, addr: Addr) -> Vec<LineState> {
+        self.l2
+            .iter()
+            .map(|c| c.probe(addr).unwrap_or(LineState::Invalid))
+            .collect()
+    }
+
+    /// Whether `addr` is valid in the given processor's L1s (I or D).
+    pub fn l1_holds(&self, cpu: usize, addr: Addr) -> bool {
+        self.l1i[cpu].probe(addr).is_some() || self.l1d[cpu].probe(addr).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn sys(cpus: usize) -> MemorySystem {
+        MemorySystem::e6000(cpus).unwrap()
+    }
+
+    #[test]
+    fn cold_read_misses_to_memory_then_hits_l1() {
+        let mut m = sys(2);
+        let o = m.access(0, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.level, HitLevel::Memory);
+        assert!(!o.c2c);
+        let o = m.access(0, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn second_cpu_read_of_clean_line_comes_from_memory() {
+        // First reader holds E (clean): no snoop copyback, memory supplies.
+        let mut m = sys(2);
+        m.access(0, AccessKind::Load, Addr(0x1000));
+        let o = m.access(1, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.level, HitLevel::Memory);
+        assert!(!o.c2c);
+    }
+
+    #[test]
+    fn read_of_remotely_dirty_line_is_cache_to_cache() {
+        let mut m = sys(2);
+        m.access(0, AccessKind::Store, Addr(0x1000)); // cpu0: M
+        let o = m.access(1, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.level, HitLevel::CacheToCache);
+        assert!(o.c2c);
+        assert_eq!(m.bus_stats().snoop_copybacks, 1);
+    }
+
+    #[test]
+    fn write_to_shared_line_is_upgrade_and_invalidates_reader() {
+        let mut m = sys(2);
+        m.access(0, AccessKind::Load, Addr(0x40)); // cpu0: E
+        m.access(1, AccessKind::Load, Addr(0x40)); // both S
+        let o = m.access(0, AccessKind::Store, Addr(0x40));
+        assert_eq!(o.level, HitLevel::Upgrade);
+        assert_eq!(m.bus_stats().upgrades, 1);
+        // cpu1 must now miss (its copy was invalidated) and receive the
+        // dirty data cache-to-cache.
+        let o = m.access(1, AccessKind::Load, Addr(0x40));
+        assert!(o.c2c, "invalidated reader re-fetches from dirty owner");
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade_costs_no_bus_transaction() {
+        let mut m = sys(2);
+        m.access(0, AccessKind::Load, Addr(0x40)); // E
+        let before = m.bus_stats().total_transactions();
+        let o = m.access(0, AccessKind::Store, Addr(0x40));
+        assert_ne!(o.level, HitLevel::Upgrade);
+        assert_eq!(m.bus_stats().total_transactions(), before);
+    }
+
+    #[test]
+    fn write_miss_of_remote_dirty_line_transfers_and_invalidates() {
+        let mut m = sys(2);
+        m.access(0, AccessKind::Store, Addr(0x80)); // cpu0: M
+        let o = m.access(1, AccessKind::Store, Addr(0x80)); // GetX
+        assert_eq!(o.level, HitLevel::CacheToCache);
+        // cpu0's copy is gone: reading it back must go c2c from cpu1.
+        let o = m.access(0, AccessKind::Load, Addr(0x80));
+        assert!(o.c2c);
+    }
+
+    #[test]
+    fn ping_pong_write_sharing_counts_c2c_per_bounce() {
+        let mut m = sys(2);
+        m.access(0, AccessKind::Store, Addr(0xc0));
+        for i in 0..10 {
+            let cpu = 1 - (i % 2);
+            let o = m.access(cpu, AccessKind::Store, Addr(0xc0));
+            assert!(o.c2c, "bounce {i} should be a cache-to-cache transfer");
+        }
+        assert_eq!(m.stats().total_c2c(), 10);
+    }
+
+    #[test]
+    fn shared_l2_eliminates_coherence_traffic_within_group() {
+        let mut b = HierarchyConfig::builder(2);
+        let cfg = b.cpus_per_l2(2).build().unwrap();
+        let mut m = MemorySystem::new(cfg);
+        m.access(0, AccessKind::Store, Addr(0x100));
+        let o = m.access(1, AccessKind::Load, Addr(0x100));
+        assert_eq!(o.level, HitLevel::L2, "same-L2 neighbor hits shared cache");
+        assert_eq!(m.stats().total_c2c(), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        // Tiny L2 to force evictions quickly.
+        let mut b = HierarchyConfig::builder(1);
+        b.l2(CacheConfig::new(512, 2, 64).unwrap());
+        b.l1i(CacheConfig::new(256, 2, 64).unwrap());
+        b.l1d(CacheConfig::new(256, 2, 64).unwrap());
+        let mut m = MemorySystem::new(b.build().unwrap());
+        // Dirty a line, then stream conflicting lines through its set.
+        m.access(0, AccessKind::Store, Addr(0));
+        let sets = 512 / (2 * 64);
+        let stride = (sets * 64) as u64;
+        for i in 1..=3u64 {
+            m.access(0, AccessKind::Load, Addr(i * stride));
+        }
+        assert!(m.bus_stats().writebacks >= 1, "dirty victim must write back");
+    }
+
+    #[test]
+    fn l1_inclusion_after_l2_eviction() {
+        let mut b = HierarchyConfig::builder(1);
+        b.l2(CacheConfig::new(512, 2, 64).unwrap());
+        b.l1i(CacheConfig::new(256, 2, 64).unwrap());
+        b.l1d(CacheConfig::new(256, 2, 64).unwrap());
+        let mut m = MemorySystem::new(b.build().unwrap());
+        m.access(0, AccessKind::Load, Addr(0));
+        let sets = 512 / (2 * 64);
+        let stride = (sets * 64) as u64;
+        // Evict line 0 from L2 via conflicting fills.
+        for i in 1..=2u64 {
+            m.access(0, AccessKind::Load, Addr(i * stride));
+        }
+        // The L1 copy must have been invalidated with it: this access
+        // cannot be an L1 hit.
+        let o = m.access(0, AccessKind::Load, Addr(0));
+        assert_ne!(o.level, HitLevel::L1, "inclusion violated");
+    }
+
+    #[test]
+    fn line_stats_track_touches_and_c2c() {
+        let mut m = sys(2);
+        m.enable_line_stats();
+        m.access(0, AccessKind::Store, Addr(0x1000));
+        m.access(1, AccessKind::Load, Addr(0x1000));
+        m.access(0, AccessKind::Load, Addr(0x2000));
+        let ls = m.line_stats().unwrap();
+        assert_eq!(ls.touched_lines(), 2);
+        assert_eq!(ls.total_c2c(), 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_cache_contents() {
+        let mut m = sys(1);
+        m.access(0, AccessKind::Load, Addr(0x40));
+        m.reset_stats();
+        assert_eq!(m.stats().total_accesses(), 0);
+        let o = m.access(0, AccessKind::Load, Addr(0x40));
+        assert_eq!(o.level, HitLevel::L1, "warm cache survives stats reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cpu_panics() {
+        let mut m = sys(1);
+        m.access(1, AccessKind::Load, Addr(0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based verification of the cache and coherence models.
+
+use proptest::prelude::*;
+
+use memsys::{
+    AccessKind, Addr, AddrRange, Cache, CacheConfig, HierarchyConfig, LineState, MemorySystem,
+};
+
+/// A reference model of a set-associative LRU cache: per-set vectors in
+/// MRU order, implemented as naively as possible.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    block_bits: u32,
+    set_bits: u32,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        RefCache {
+            sets: vec![Vec::new(); cfg.sets() as usize],
+            ways: cfg.ways as usize,
+            block_bits: cfg.block_bits(),
+            set_bits: cfg.sets().trailing_zeros(),
+        }
+    }
+
+    /// Returns whether the access hit, applying LRU update / fill.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.block_bits;
+        let set = (line & ((1 << self.set_bits) - 1)) as usize;
+        let tag = line >> self.set_bits;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == tag) {
+            s.remove(pos);
+            s.insert(0, tag);
+            true
+        } else {
+            if s.len() == self.ways {
+                s.pop();
+            }
+            s.insert(0, tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache and the naive reference model agree on every
+    /// hit/miss over arbitrary access streams.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..(1 << 14), 1..600)) {
+        let cfg = CacheConfig::new(2048, 4, 64).unwrap();
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &a in &addrs {
+            let hit = cache.touch(Addr(a)).is_some();
+            if !hit {
+                let _ = cache.insert(Addr(a), LineState::Shared);
+            }
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", a);
+        }
+    }
+
+    /// Coherence single-writer invariant: after any access stream, no line
+    /// is dirty/exclusive in one L2 while valid in another.
+    #[test]
+    fn single_writer_invariant(
+        ops in prop::collection::vec((0usize..4, 0u8..2, 0u64..64), 1..400)
+    ) {
+        let mut sys = MemorySystem::e6000(4).unwrap();
+        let mut touched = std::collections::HashSet::new();
+        for &(cpu, kind, line) in &ops {
+            let addr = Addr(line * 64);
+            touched.insert(addr);
+            let kind = if kind == 0 { AccessKind::Load } else { AccessKind::Store };
+            sys.access(cpu, kind, addr);
+        }
+        for &addr in &touched {
+            let states = sys.l2_states(addr);
+            let exclusive_holders = states
+                .iter()
+                .filter(|s| matches!(s, LineState::Modified | LineState::Exclusive))
+                .count();
+            let valid_holders = states.iter().filter(|s| s.is_valid()).count();
+            prop_assert!(
+                exclusive_holders <= 1,
+                "two exclusive holders of {addr}: {states:?}"
+            );
+            if exclusive_holders == 1 {
+                prop_assert_eq!(
+                    valid_holders, 1,
+                    "M/E must be the only copy of {}: {:?}", addr, &states
+                );
+            }
+            let owners = states.iter().filter(|s| matches!(s, LineState::Owned)).count();
+            prop_assert!(owners <= 1, "two owners of {addr}: {states:?}");
+        }
+    }
+
+    /// L1 inclusion: an L1 never holds a line its L2 group lost.
+    #[test]
+    fn l1_inclusion_invariant(
+        ops in prop::collection::vec((0usize..2, 0u8..2, 0u64..512), 1..500)
+    ) {
+        // Tiny L2s to force evictions.
+        let mut b = HierarchyConfig::builder(2);
+        b.l2(CacheConfig::new(1024, 2, 64).unwrap());
+        b.l1i(CacheConfig::new(256, 2, 64).unwrap());
+        b.l1d(CacheConfig::new(256, 2, 64).unwrap());
+        let mut sys = MemorySystem::new(b.build().unwrap());
+        let mut touched = std::collections::HashSet::new();
+        for &(cpu, kind, line) in &ops {
+            let addr = Addr(line * 64);
+            touched.insert(addr);
+            let kind = if kind == 0 { AccessKind::Load } else { AccessKind::Store };
+            sys.access(cpu, kind, addr);
+        }
+        let cfg = *sys.config();
+        for &addr in &touched {
+            let states = sys.l2_states(addr);
+            for cpu in 0..2 {
+                if sys.l1_holds(cpu, addr) {
+                    let group = cfg.l2_group(cpu);
+                    prop_assert!(
+                        states[group].is_valid(),
+                        "L1 of cpu {cpu} holds {addr} but its L2 lost it"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Miss accounting: l1 misses >= l2 misses, c2c <= l2 misses, and
+    /// accesses add up.
+    #[test]
+    fn counter_consistency(
+        ops in prop::collection::vec((0usize..4, 0u8..3, 0u64..256), 1..500)
+    ) {
+        let mut sys = MemorySystem::e6000(4).unwrap();
+        for &(cpu, kind, line) in &ops {
+            let kind = match kind {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                _ => AccessKind::Ifetch,
+            };
+            sys.access(cpu, kind, Addr(line * 64));
+        }
+        let st = sys.stats();
+        prop_assert_eq!(st.total_accesses(), ops.len() as u64);
+        for k in [&st.ifetch, &st.load, &st.store] {
+            prop_assert!(k.l1_misses <= k.accesses);
+            prop_assert!(k.l2_misses <= k.l1_misses);
+            prop_assert!(k.c2c <= k.l2_misses);
+        }
+        let per_cpu: u64 = st.l2_misses_by_cpu.iter().sum();
+        prop_assert_eq!(per_cpu, st.total_l2_misses());
+    }
+
+    /// AddrRange::take splits a range into disjoint, exhaustive pieces.
+    #[test]
+    fn range_take_partitions(start in 0u64..1_000_000, lens in prop::collection::vec(1u64..4096, 1..20)) {
+        let total: u64 = lens.iter().sum();
+        let mut range = AddrRange::new(Addr(start), total);
+        let mut cursor = start;
+        for &len in &lens {
+            let piece = range.take(len).expect("sized exactly");
+            prop_assert_eq!(piece.start(), Addr(cursor));
+            prop_assert_eq!(piece.len(), len);
+            cursor += len;
+        }
+        prop_assert!(range.is_empty());
+    }
+}

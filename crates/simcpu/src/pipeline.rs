@@ -1,0 +1,392 @@
+//! In-order pipeline timing and CPI/stall accounting.
+//!
+//! The UltraSPARC II is a 4-wide in-order processor. Following the paper's
+//! methodology (Section 4.2), execution time per processor is decomposed
+//! into:
+//!
+//! - **other** — instruction execution plus all non-memory stalls (the
+//!   paper's "Other" CPI slice), charged as a fixed base CPI;
+//! - **instruction stall** — I-fetch misses;
+//! - **data stall** — load misses (by supplier: L2 hit, cache-to-cache,
+//!   memory), store-buffer-full stalls, and read-after-write hazards.
+//!
+//! Stores normally retire into the [`StoreBuffer`] without stalling; their
+//! memory latency only surfaces when the buffer fills, exactly the
+//! mechanism the paper credits for store-buffer stalls being only 1–2% of
+//! execution time.
+
+use memsys::AccessOutcome;
+
+use crate::latency::LatencyTable;
+use crate::storebuf::{StoreBuffer, DEFAULT_DEPTH};
+
+/// Tunable pipeline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineParams {
+    /// Base CPI covering execution and non-memory stalls (the "Other"
+    /// slice; ~1.3 for these workloads on a 4-wide in-order core).
+    pub base_cpi: f64,
+    /// One load in `raw_hazard_period` is not sufficiently separated from a
+    /// preceding store and suffers a short hazard stall (Section 4.2: ~1%
+    /// of execution time).
+    pub raw_hazard_period: u64,
+    /// Cycles lost to one read-after-write hazard.
+    pub raw_hazard_cycles: u64,
+    /// Store-buffer depth.
+    pub store_buffer_depth: usize,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            base_cpi: 1.3,
+            raw_hazard_period: 40,
+            raw_hazard_cycles: 4,
+            store_buffer_depth: DEFAULT_DEPTH,
+        }
+    }
+}
+
+/// Data-stall cycles broken down by cause (the paper's Figure 7 slices).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataStall {
+    /// Pipeline blocked on a full store buffer.
+    pub store_buffer: u64,
+    /// Read-after-write hazards.
+    pub raw_hazard: u64,
+    /// Loads satisfied by the L2.
+    pub l2_hit: u64,
+    /// Loads satisfied by a remote cache (cache-to-cache).
+    pub cache_to_cache: u64,
+    /// Loads satisfied by memory.
+    pub memory: u64,
+}
+
+impl DataStall {
+    /// Total data-stall cycles.
+    pub fn total(&self) -> u64 {
+        self.store_buffer + self.raw_hazard + self.l2_hit + self.cache_to_cache + self.memory
+    }
+}
+
+/// Per-processor cycle/instruction accounting.
+#[derive(Debug, Clone)]
+pub struct CpuTimer {
+    params: PipelineParams,
+    lat: LatencyTable,
+    storebuf: StoreBuffer,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    base_cycles: f64,
+    instr_stall: u64,
+    data_stall: DataStall,
+}
+
+impl CpuTimer {
+    /// Creates a timer with the given parameters and latency table.
+    pub fn new(params: PipelineParams, lat: LatencyTable) -> Self {
+        CpuTimer {
+            storebuf: StoreBuffer::new(params.store_buffer_depth),
+            params,
+            lat,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            base_cycles: 0.0,
+            instr_stall: 0,
+            data_stall: DataStall::default(),
+        }
+    }
+
+    /// An E6000-like timer with default parameters.
+    pub fn e6000() -> Self {
+        CpuTimer::new(PipelineParams::default(), LatencyTable::e6000())
+    }
+
+    /// The latency table in use.
+    pub fn latencies(&self) -> &LatencyTable {
+        &self.lat
+    }
+
+    /// Retires `n` instructions (charging base CPI).
+    #[inline]
+    pub fn retire(&mut self, n: u64) {
+        self.instructions += n;
+        self.base_cycles += n as f64 * self.params.base_cpi;
+    }
+
+    /// Current busy-cycle count.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.base_cycles as u64 + self.instr_stall + self.data_stall.total()
+    }
+
+    /// Charges an instruction-fetch outcome.
+    #[inline]
+    pub fn ifetch(&mut self, outcome: &AccessOutcome) {
+        self.instr_stall += self.lat.stall_for(outcome.level);
+    }
+
+    /// Charges a load outcome, including its periodic RAW hazard share.
+    #[inline]
+    pub fn load(&mut self, outcome: &AccessOutcome) {
+        self.loads += 1;
+        let stall = self.lat.stall_for(outcome.level);
+        match outcome.level {
+            memsys::HitLevel::L1 => {}
+            memsys::HitLevel::L2 => self.data_stall.l2_hit += stall,
+            memsys::HitLevel::CacheToCache => self.data_stall.cache_to_cache += stall,
+            memsys::HitLevel::Memory => self.data_stall.memory += stall,
+            memsys::HitLevel::Upgrade => self.data_stall.memory += stall,
+        }
+        if self.loads.is_multiple_of(self.params.raw_hazard_period) {
+            self.data_stall.raw_hazard += self.params.raw_hazard_cycles;
+        }
+    }
+
+    /// Retires a store through the store buffer; only buffer-full time
+    /// stalls the pipeline.
+    #[inline]
+    pub fn store(&mut self, outcome: &AccessOutcome) {
+        self.stores += 1;
+        let latency = self.lat.stall_for(outcome.level);
+        let now = self.cycles();
+        let stall = self.storebuf.push(now, latency);
+        self.data_stall.store_buffer += stall;
+    }
+
+    /// Charges externally modeled stall cycles (e.g. software TLB-miss
+    /// traps), accounted under the "Other" slice like the paper's
+    /// non-memory stalls.
+    #[inline]
+    pub fn stall_extra(&mut self, cycles: u64) {
+        self.base_cycles += cycles as f64;
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> CpiReport {
+        CpiReport {
+            instructions: self.instructions,
+            loads: self.loads,
+            stores: self.stores,
+            base_cycles: self.base_cycles as u64,
+            instr_stall: self.instr_stall,
+            data_stall: self.data_stall,
+        }
+    }
+
+    /// Resets counters (keeps parameters); used between warm-up and
+    /// measurement windows.
+    pub fn reset(&mut self) {
+        self.instructions = 0;
+        self.loads = 0;
+        self.stores = 0;
+        self.base_cycles = 0.0;
+        self.instr_stall = 0;
+        self.data_stall = DataStall::default();
+        self.storebuf.flush();
+    }
+}
+
+/// A finished CPI/stall breakdown (one processor, one window).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiReport {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Cycles charged as base execution ("Other").
+    pub base_cycles: u64,
+    /// Instruction-stall cycles.
+    pub instr_stall: u64,
+    /// Data-stall cycles by cause.
+    pub data_stall: DataStall,
+}
+
+impl CpiReport {
+    /// Total busy cycles.
+    pub fn cycles(&self) -> u64 {
+        self.base_cycles + self.instr_stall + self.data_stall.total()
+    }
+
+    /// Overall cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles() as f64 / self.instructions as f64
+        }
+    }
+
+    /// The instruction-stall CPI component.
+    pub fn instr_stall_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.instr_stall as f64 / self.instructions as f64
+        }
+    }
+
+    /// The data-stall CPI component.
+    pub fn data_stall_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.data_stall.total() as f64 / self.instructions as f64
+        }
+    }
+
+    /// The "Other" CPI component.
+    pub fn other_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.base_cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of total execution time spent stalled on data.
+    pub fn data_stall_fraction(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.data_stall.total() as f64 / c as f64
+        }
+    }
+
+    /// Merges two per-window or per-processor reports.
+    pub fn merge(&self, other: &CpiReport) -> CpiReport {
+        CpiReport {
+            instructions: self.instructions + other.instructions,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            base_cycles: self.base_cycles + other.base_cycles,
+            instr_stall: self.instr_stall + other.instr_stall,
+            data_stall: DataStall {
+                store_buffer: self.data_stall.store_buffer + other.data_stall.store_buffer,
+                raw_hazard: self.data_stall.raw_hazard + other.data_stall.raw_hazard,
+                l2_hit: self.data_stall.l2_hit + other.data_stall.l2_hit,
+                cache_to_cache: self.data_stall.cache_to_cache + other.data_stall.cache_to_cache,
+                memory: self.data_stall.memory + other.data_stall.memory,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::{AccessOutcome, HitLevel};
+
+    fn out(level: HitLevel) -> AccessOutcome {
+        AccessOutcome {
+            level,
+            c2c: level == HitLevel::CacheToCache,
+            writeback: false,
+        }
+    }
+
+    #[test]
+    fn pure_execution_gives_base_cpi() {
+        let mut t = CpuTimer::e6000();
+        t.retire(1000);
+        let r = t.report();
+        assert!((r.cpi() - 1.3).abs() < 0.01);
+        assert_eq!(r.instr_stall, 0);
+        assert_eq!(r.data_stall.total(), 0);
+    }
+
+    #[test]
+    fn load_misses_accumulate_by_source() {
+        let mut t = CpuTimer::e6000();
+        t.retire(100);
+        t.load(&out(HitLevel::L2));
+        t.load(&out(HitLevel::Memory));
+        t.load(&out(HitLevel::CacheToCache));
+        let r = t.report();
+        assert_eq!(r.data_stall.l2_hit, 10);
+        assert_eq!(r.data_stall.memory, 75);
+        assert_eq!(r.data_stall.cache_to_cache, 105);
+    }
+
+    #[test]
+    fn c2c_loads_cost_more_than_memory_loads() {
+        let mut a = CpuTimer::e6000();
+        let mut b = CpuTimer::e6000();
+        a.retire(100);
+        b.retire(100);
+        for _ in 0..10 {
+            a.load(&out(HitLevel::Memory));
+            b.load(&out(HitLevel::CacheToCache));
+        }
+        assert!(b.report().cycles() > a.report().cycles());
+    }
+
+    #[test]
+    fn sparse_stores_do_not_stall() {
+        let mut t = CpuTimer::e6000();
+        for _ in 0..100 {
+            t.retire(50); // plenty of time between stores
+            t.store(&out(HitLevel::Memory));
+        }
+        assert_eq!(t.report().data_stall.store_buffer, 0);
+    }
+
+    #[test]
+    fn store_bursts_fill_the_buffer_and_stall() {
+        let mut t = CpuTimer::e6000();
+        t.retire(1);
+        for _ in 0..32 {
+            t.store(&out(HitLevel::Memory)); // back-to-back, no retire
+        }
+        assert!(t.report().data_stall.store_buffer > 0);
+    }
+
+    #[test]
+    fn raw_hazards_are_a_small_fraction() {
+        let mut t = CpuTimer::e6000();
+        for _ in 0..10_000 {
+            t.retire(4);
+            t.load(&out(HitLevel::L1));
+        }
+        let r = t.report();
+        let raw_frac = r.data_stall.raw_hazard as f64 / r.cycles() as f64;
+        assert!(raw_frac > 0.0 && raw_frac < 0.03, "raw fraction {raw_frac}");
+    }
+
+    #[test]
+    fn report_merge_adds_fields() {
+        let mut a = CpuTimer::e6000();
+        a.retire(10);
+        a.load(&out(HitLevel::Memory));
+        let mut b = CpuTimer::e6000();
+        b.retire(20);
+        b.load(&out(HitLevel::L2));
+        let m = a.report().merge(&b.report());
+        assert_eq!(m.instructions, 30);
+        assert_eq!(m.loads, 2);
+        assert_eq!(m.data_stall.memory, 75);
+        assert_eq!(m.data_stall.l2_hit, 10);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut t = CpuTimer::e6000();
+        t.retire(100);
+        t.load(&out(HitLevel::Memory));
+        t.reset();
+        assert_eq!(t.report().cycles(), 0);
+        assert_eq!(t.report().instructions, 0);
+    }
+
+    #[test]
+    fn empty_report_has_zero_cpi() {
+        let t = CpuTimer::e6000();
+        assert_eq!(t.report().cpi(), 0.0);
+        assert_eq!(t.report().data_stall_fraction(), 0.0);
+    }
+}

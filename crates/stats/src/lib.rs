@@ -1,0 +1,20 @@
+//! # simstats — measurement methodology
+//!
+//! Statistics utilities shared by the experiment harness:
+//!
+//! - [`summary::Summary`] — streaming mean / standard deviation (the
+//!   error bars on every figure);
+//! - [`variability`] — the Alameldeen–Wood multi-run methodology the
+//!   paper adopts for multithreaded-workload variability (Section 3.3);
+//! - [`cdf::Cdf`] — cumulative distributions (Figures 14/15);
+//! - [`table`] — plain-text series rendering for figure regeneration.
+
+pub mod cdf;
+pub mod summary;
+pub mod table;
+pub mod variability;
+
+pub use cdf::Cdf;
+pub use summary::Summary;
+pub use table::{fbytes, fnum, Table};
+pub use variability::{run_seeds, run_seeds_vec};

@@ -1,0 +1,80 @@
+//! The Alameldeen–Wood variability methodology.
+//!
+//! The paper (Section 3.3) adopts the methodology of Alameldeen & Wood
+//! [HPCA 2003] to account for the inherent run-to-run variability of
+//! multithreaded commercial workloads: each configuration is simulated
+//! several times with perturbed (here: differently seeded) runs, and
+//! results are reported as means with error bars rather than single
+//! samples.
+
+use crate::summary::Summary;
+
+/// Runs `measure` once per seed and summarizes the resulting metric.
+///
+/// # Examples
+///
+/// ```
+/// use simstats::variability::run_seeds;
+///
+/// let s = run_seeds(5, |seed| (seed % 3) as f64);
+/// assert_eq!(s.n(), 5);
+/// ```
+pub fn run_seeds(seeds: u64, mut measure: impl FnMut(u64) -> f64) -> Summary {
+    let mut summary = Summary::new();
+    for seed in 0..seeds {
+        summary.push(measure(seed));
+    }
+    summary
+}
+
+/// Runs `measure` once per seed for a *vector* of metrics, summarizing
+/// each position independently (one experiment producing a whole curve).
+///
+/// # Panics
+///
+/// Panics if `measure` returns vectors of differing lengths.
+pub fn run_seeds_vec(seeds: u64, mut measure: impl FnMut(u64) -> Vec<f64>) -> Vec<Summary> {
+    let mut summaries: Vec<Summary> = Vec::new();
+    for seed in 0..seeds {
+        let values = measure(seed);
+        if summaries.is_empty() {
+            summaries = vec![Summary::new(); values.len()];
+        }
+        assert_eq!(
+            summaries.len(),
+            values.len(),
+            "metric vector length changed between seeds"
+        );
+        for (s, v) in summaries.iter_mut().zip(values) {
+            s.push(v);
+        }
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_seeds_aggregates_all_runs() {
+        let s = run_seeds(4, |seed| seed as f64);
+        assert_eq!(s.n(), 4);
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_seeds_vec_summarizes_positionwise() {
+        let out = run_seeds_vec(3, |seed| vec![seed as f64, 10.0]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].mean() - 1.0).abs() < 1e-12);
+        assert!((out[1].mean() - 10.0).abs() < 1e-12);
+        assert_eq!(out[1].stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length changed")]
+    fn changing_vector_length_panics() {
+        let _ = run_seeds_vec(2, |seed| vec![0.0; 1 + seed as usize]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Property-based verification of the statistics utilities.
+
+use proptest::prelude::*;
+use simstats::{Cdf, Summary};
+
+proptest! {
+    /// Welford matches the naive two-pass mean and (n-1) stddev.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.stddev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        }
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// CDFs are monotone, bounded by 1, and share/lines round-trip.
+    #[test]
+    fn cdf_is_monotone_and_invertible(mut counts in prop::collection::vec(1u64..1000, 1..100)) {
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let cdf = Cdf::from_counts_desc(&counts);
+        let mut prev = 0.0;
+        for i in 1..=counts.len() {
+            let share = cdf.share_of_hottest(i);
+            prop_assert!(share >= prev - 1e-12);
+            prop_assert!(share <= 1.0 + 1e-12);
+            prev = share;
+        }
+        prop_assert!((cdf.share_of_hottest(counts.len()) - 1.0).abs() < 1e-9);
+        // Round trip: the lines needed for a share actually reach it.
+        for &target in &[0.25, 0.5, 0.9] {
+            let lines = cdf.lines_for_share(target);
+            prop_assert!(cdf.share_of_hottest(lines) >= target - 1e-9);
+        }
+    }
+}

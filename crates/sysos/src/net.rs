@@ -1,0 +1,291 @@
+//! The kernel network path.
+//!
+//! ECperf's tiers run on separate machines and communicate through
+//! operating-system networking code; SPECjbb keeps everything in one
+//! process and does essentially no I/O. That difference is the paper's
+//! Figure 5 headline: ECperf's *system* time grows from under 5% on one
+//! processor to nearly 30% on fifteen, which the authors attribute to
+//! contention in the networking code.
+//!
+//! [`NetStack`] models the mechanism: every message walks a kernel text
+//! path (instruction footprint), updates shared protocol state guarded by
+//! a handful of global lock lines (the contended part — callers should
+//! serialize [`emit_protocol`](NetStack::emit_protocol) through their
+//! scheduler's lock facility), and copies the payload through a
+//! per-connection socket buffer ring (the parallel part).
+
+use memsys::{AccessKind, Addr, AddrRange, MemSink, LINE_BYTES};
+
+/// Kernel network-path parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Hot kernel text bytes walked per message.
+    pub text_walk_bytes: u64,
+    /// Total hot kernel network text (the instruction footprint).
+    pub hot_text_bytes: u64,
+    /// Socket buffer ring size per connection.
+    pub sockbuf_bytes: u64,
+    /// Number of global protocol lock lines.
+    pub global_locks: u32,
+    /// Extra instructions per message beyond text execution (copies,
+    /// checksums).
+    pub overhead_instructions: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            text_walk_bytes: 1024,
+            hot_text_bytes: 128 << 10,
+            sockbuf_bytes: 2 << 10,
+            global_locks: 4,
+            overhead_instructions: 150,
+        }
+    }
+}
+
+/// Statistics for a network stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages processed.
+    pub messages: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// One machine's kernel network stack.
+#[derive(Debug, Clone)]
+pub struct NetStack {
+    cfg: NetConfig,
+    text: AddrRange,
+    locks: AddrRange,
+    sockbufs: Vec<AddrRange>,
+    cursors: Vec<u64>,
+    text_cursor: u64,
+    stats: NetStats,
+}
+
+impl NetStack {
+    /// Lays a stack with `connections` connections out inside `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small for the configured text, locks
+    /// and socket buffers.
+    pub fn new(cfg: NetConfig, mut region: AddrRange, connections: usize) -> Self {
+        let text = region
+            .take(cfg.hot_text_bytes)
+            .expect("kernel region too small for network text");
+        let locks = region
+            .take(cfg.global_locks as u64 * LINE_BYTES)
+            .expect("kernel region too small for lock lines");
+        let sockbufs: Vec<AddrRange> = (0..connections)
+            .map(|_| {
+                region
+                    .take(cfg.sockbuf_bytes)
+                    .expect("kernel region too small for socket buffers")
+            })
+            .collect();
+        NetStack {
+            cfg,
+            text,
+            locks,
+            cursors: vec![0; connections],
+            sockbufs,
+            text_cursor: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The stack's configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of connections.
+    pub fn connections(&self) -> usize {
+        self.sockbufs.len()
+    }
+
+    /// Address of global protocol lock `i` (for scheduler-level
+    /// serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lock_addr(&self, i: u32) -> Addr {
+        assert!(i < self.cfg.global_locks, "lock index {i} out of range");
+        Addr(self.locks.start().0 + i as u64 * LINE_BYTES)
+    }
+
+    /// The serialized part of message processing: acquire-style RMW on a
+    /// global protocol lock line and updates of shared protocol state.
+    /// Callers hold the corresponding scheduler lock around this to model
+    /// kernel serialization.
+    pub fn emit_protocol(&mut self, lock: u32, sink: &mut (impl MemSink + ?Sized)) {
+        let lock_line = self.lock_addr(lock);
+        sink.instructions(80);
+        sink.load(lock_line);
+        sink.store(lock_line);
+        // Shared protocol state next to the lock (connection hash chains,
+        // timers): a couple of shared lines.
+        for i in 0..2 {
+            let a = Addr(self.locks.start().0 + ((lock + i) % self.cfg.global_locks) as u64 * LINE_BYTES);
+            sink.load(a);
+        }
+        sink.store(lock_line);
+    }
+
+    /// The parallel part: walk the kernel text path and copy `bytes`
+    /// through the connection's socket buffer ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conn` is out of range.
+    pub fn emit_transfer(&mut self, conn: usize, bytes: u64, sink: &mut (impl MemSink + ?Sized)) {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        sink.instructions(self.cfg.overhead_instructions);
+
+        // Kernel text walk: a rotating window over the hot text, so the
+        // whole footprint is exercised across messages.
+        let text_lines = self.text.line_count();
+        let walk_lines = self.cfg.text_walk_bytes / LINE_BYTES;
+        for i in 0..walk_lines {
+            let idx = (self.text_cursor + i) % text_lines;
+            sink.ifetch(self.text.start().line().step(idx).base());
+            sink.instructions(LINE_BYTES / 4);
+        }
+        self.text_cursor = (self.text_cursor + (walk_lines * 2 / 3).max(1)) % text_lines;
+
+        // Payload copy through the ring: a store per line written plus a
+        // load per line read out.
+        let buf = self.sockbufs[conn];
+        let buf_lines = buf.line_count();
+        let copy_lines = bytes.div_ceil(LINE_BYTES).max(1);
+        let cursor = &mut self.cursors[conn];
+        for i in 0..copy_lines {
+            let idx = (*cursor + i) % buf_lines;
+            let a = buf.start().line().step(idx).base();
+            sink.store(a);
+            sink.load(a);
+        }
+        *cursor = (*cursor + copy_lines) % buf_lines;
+        sink.instructions(bytes / 8);
+    }
+
+    /// Convenience: a whole message (protocol + transfer) using lock
+    /// `conn % global_locks`. For contention-aware runs, call the parts
+    /// separately under the scheduler's lock.
+    pub fn emit_message(&mut self, conn: usize, bytes: u64, sink: &mut (impl MemSink + ?Sized)) {
+        let lock = (conn as u32) % self.cfg.global_locks;
+        self.emit_protocol(lock, sink);
+        self.emit_transfer(conn, bytes, sink);
+    }
+
+    /// Touches the whole hot kernel text once (boot / warm-up), returning
+    /// the instruction-footprint size.
+    pub fn warm_text(&mut self, sink: &mut (impl MemSink + ?Sized)) -> u64 {
+        sink.sweep(AccessKind::Ifetch, self.text);
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::{CountingSink, RecordingSink};
+
+    fn stack(conns: usize) -> NetStack {
+        NetStack::new(
+            NetConfig::default(),
+            AddrRange::new(Addr(0x0100_0000), 8 << 20),
+            conns,
+        )
+    }
+
+    #[test]
+    fn message_emits_code_locks_and_copies() {
+        let mut s = stack(2);
+        let mut sink = CountingSink::new();
+        s.emit_message(0, 1024, &mut sink);
+        assert!(sink.ifetches >= (NetConfig::default().text_walk_bytes / 64));
+        assert!(sink.stores >= 1024 / 64);
+        assert!(sink.instructions > 500);
+        assert_eq!(s.stats().messages, 1);
+        assert_eq!(s.stats().bytes, 1024);
+    }
+
+    #[test]
+    fn protocol_part_hammers_the_lock_line() {
+        let mut s = stack(1);
+        let mut sink = RecordingSink::new();
+        s.emit_protocol(0, &mut sink);
+        let lock_line = s.lock_addr(0).line();
+        let on_lock = sink.refs.iter().filter(|(_, a)| a.line() == lock_line).count();
+        assert!(on_lock >= 3, "RMW + release on the lock line");
+    }
+
+    #[test]
+    fn connections_use_disjoint_buffers() {
+        let mut s = stack(2);
+        let mut a = RecordingSink::new();
+        s.emit_transfer(0, 4096, &mut a);
+        let mut b = RecordingSink::new();
+        s.emit_transfer(1, 4096, &mut b);
+        let a_stores: Vec<_> = a
+            .refs
+            .iter()
+            .filter(|(k, _)| *k == memsys::AccessKind::Store)
+            .map(|(_, addr)| addr.line())
+            .collect();
+        for (k, addr) in &b.refs {
+            if *k == memsys::AccessKind::Store {
+                assert!(!a_stores.contains(&addr.line()), "buffer sharing between connections");
+            }
+        }
+    }
+
+    #[test]
+    fn text_walk_rotates_across_whole_footprint() {
+        let mut s = stack(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let mut sink = RecordingSink::new();
+            s.emit_transfer(0, 64, &mut sink);
+            for (k, a) in sink.refs {
+                if k == memsys::AccessKind::Ifetch {
+                    seen.insert(a.line());
+                }
+            }
+        }
+        let total = NetConfig::default().hot_text_bytes / 64;
+        assert!(
+            seen.len() as u64 > total / 2,
+            "rotation must cover most of the hot text: {} of {}",
+            seen.len(),
+            total
+        );
+    }
+
+    #[test]
+    fn warm_text_touches_full_footprint() {
+        let mut s = stack(1);
+        let mut sink = CountingSink::new();
+        let bytes = s.warm_text(&mut sink);
+        assert_eq!(bytes, NetConfig::default().hot_text_bytes);
+        assert_eq!(sink.ifetches, bytes / 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_lock_index_panics() {
+        let s = stack(1);
+        let _ = s.lock_addr(99);
+    }
+}

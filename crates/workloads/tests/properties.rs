@@ -1,0 +1,152 @@
+//! Property-based verification of the workload substrates: the object
+//! B-tree against a reference map, the bean cache against a reference
+//! LRU, and the Zipf sampler's distribution properties.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use jvm::heap::{Heap, HeapConfig, HeapGeometry};
+use jvm::object::ObjectId;
+use memsys::{Addr, AddrRange, CountingSink};
+use workloads::ecperf::cache::{BeanKey, CacheLookup, ObjectCache};
+use workloads::objtree::ObjTree;
+use workloads::zipf::ZipfSampler;
+
+fn heap() -> Heap {
+    Heap::new(
+        HeapConfig {
+            geometry: HeapGeometry {
+                eden: 256 << 10,
+                survivor: 64 << 10,
+                old: 32 << 20,
+            },
+            tenure_age: 1,
+            tlab_bytes: 8 << 10,
+        },
+        AddrRange::new(Addr(0x4000_0000), 64 << 20),
+    )
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TreeOp {
+    Insert(u16),
+    Remove(u16),
+    Lookup(u16),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (0u16..800).prop_map(TreeOp::Insert),
+        (0u16..800).prop_map(TreeOp::Remove),
+        (0u16..800).prop_map(TreeOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The object B-tree agrees with `BTreeMap` on every operation.
+    #[test]
+    fn objtree_matches_btreemap(ops in prop::collection::vec(tree_op(), 1..400)) {
+        let mut h = heap();
+        let mut sink = CountingSink::new();
+        let mut tree = ObjTree::new(&mut h);
+        let mut reference: BTreeMap<u64, ObjectId> = BTreeMap::new();
+        for &op in &ops {
+            match op {
+                TreeOp::Insert(k) => {
+                    let rec = h.alloc_permanent_old(64);
+                    let old = tree.insert(k as u64, rec, &mut h, &mut sink);
+                    let ref_old = reference.insert(k as u64, rec);
+                    prop_assert_eq!(old, ref_old);
+                }
+                TreeOp::Remove(k) => {
+                    let got = tree.remove(k as u64, &h, &mut sink);
+                    let expect = reference.remove(&(k as u64));
+                    prop_assert_eq!(got, expect);
+                }
+                TreeOp::Lookup(k) => {
+                    let got = tree.lookup(k as u64, &h, &mut sink);
+                    let expect = reference.get(&(k as u64)).copied();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(tree.len(), reference.len());
+        }
+        // Full agreement at the end, via scan.
+        let mut scanned = BTreeMap::new();
+        tree.scan(&h, &mut sink, |k, r| {
+            scanned.insert(k, r);
+        });
+        prop_assert_eq!(scanned, reference);
+    }
+
+    /// The bean cache never exceeds capacity, evicts exactly the LRU
+    /// entry, and freshness follows the TTL.
+    #[test]
+    fn bean_cache_is_an_lru_with_ttl(
+        keys in prop::collection::vec(0u64..96, 1..400),
+        capacity in 2usize..24,
+        ttl in 1u64..200,
+    ) {
+        let mut cache = ObjectCache::new(capacity, ttl);
+        // Reference: MRU-first vec of (key, loaded_at).
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for (now, &k) in keys.iter().enumerate() {
+            let now = now as u64;
+            let key = BeanKey::new(1, k);
+            let got = cache.lookup(key, now);
+            let ref_pos = reference.iter().position(|&(rk, _)| rk == k);
+            match (got, ref_pos) {
+                (CacheLookup::Miss, None) => {
+                    // Insert; evict reference LRU if full.
+                    if reference.len() == capacity {
+                        reference.pop();
+                    }
+                    cache.insert(key, ObjectId(k as u32), now);
+                    reference.insert(0, (k, now));
+                }
+                (CacheLookup::Hit(_), Some(pos)) => {
+                    let (rk, loaded) = reference.remove(pos);
+                    prop_assert!(now - loaded <= ttl, "hit but reference says stale");
+                    reference.insert(0, (rk, loaded));
+                }
+                (CacheLookup::Stale(_), Some(pos)) => {
+                    let (rk, loaded) = reference.remove(pos);
+                    prop_assert!(now - loaded > ttl, "stale but reference says fresh");
+                    // Refresh.
+                    cache.insert(key, ObjectId(k as u32), now);
+                    reference.insert(0, (rk.to_owned(), now));
+                }
+                (got, refp) => {
+                    return Err(TestCaseError::fail(format!(
+                        "cache {got:?} disagrees with reference position {refp:?} for key {k}"
+                    )));
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+    }
+
+    /// Zipf samples stay in the domain and lower indices are (weakly)
+    /// more popular for a skewed distribution.
+    #[test]
+    fn zipf_is_monotonically_skewed(n in 8usize..256, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let z = ZipfSampler::new(n, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u32; n];
+        for _ in 0..4000 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n);
+            counts[s] += 1;
+        }
+        // Head quarter beats tail quarter.
+        let q = (n / 4).max(1);
+        let head: u32 = counts[..q].iter().sum();
+        let tail: u32 = counts[n - q..].iter().sum();
+        prop_assert!(head > tail, "head {head} should beat tail {tail}");
+    }
+}

@@ -1,0 +1,31 @@
+//! The ECperf middle tier: drive the simulated application server and
+//! show the paper's Section 4.4 effect — the object cache cuts database
+//! round trips per BBop as processors (and thus concurrency) grow.
+//!
+//! Run with: `cargo run --release --example ecperf_cluster`
+
+use middlesim::{ecperf_machine, measure, Effort};
+
+fn main() {
+    let effort = Effort::Quick;
+    println!("  P     BBop/s   instr/BBop  DB-rt/BBop  hit-rate   sys%");
+    for p in [1usize, 2, 4, 8] {
+        let mut machine = ecperf_machine(p, 1, effort);
+        let r = measure(&mut machine, effort);
+        let wl = machine.workload();
+        let bbops = wl.total_tx().max(1);
+        println!(
+            " {:>2} {:>9.0} {:>11.0} {:>11.2} {:>9.3} {:>6.1}",
+            p,
+            r.throughput(),
+            r.cpi.instructions as f64 / r.transactions.max(1) as f64,
+            wl.db_roundtrips() as f64 / bbops as f64,
+            wl.cache().stats().hit_rate(),
+            r.modes.system * 100.0
+        );
+    }
+    println!("\nConstructive interference in the object cache (paper Section 4.4):");
+    println!("more processors keep entities fresh within their TTL, so the hit");
+    println!("rate rises and the per-BBop path length falls — the mechanism");
+    println!("behind ECperf's super-linear speedup region.");
+}

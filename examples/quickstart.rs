@@ -1,0 +1,49 @@
+//! Quickstart: simulate SPECjbb on a 4-processor slice of an E6000 and
+//! print the headline measurements the paper is built from.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use middlesim::{jbb_machine, measure, Effort};
+
+fn main() {
+    let effort = Effort::Quick;
+    println!("building SPECjbb (8 warehouses) on 4 of 16 processors...");
+    let mut machine = jbb_machine(4, 8, 1, effort);
+    let report = measure(&mut machine, effort);
+
+    println!("\n== window report ==");
+    println!("transactions      : {}", report.transactions);
+    println!("throughput        : {:.0} tx/s", report.throughput());
+    println!(
+        "CPI               : {:.2} (instr stall {:.2}, data stall {:.2}, other {:.2})",
+        report.cpi.cpi(),
+        report.cpi.instr_stall_cpi(),
+        report.cpi.data_stall_cpi(),
+        report.cpi.other_cpi()
+    );
+    println!("modes             : {}", report.modes);
+    println!(
+        "c2c transfer ratio: {:.1}% of L2 misses",
+        report.c2c_ratio * 100.0
+    );
+    println!(
+        "garbage collection: {} collections, {:.1}% of the window",
+        report.gc_count,
+        report.gc_cycles as f64 * 100.0 / report.cycles.max(1) as f64
+    );
+
+    let stats = machine.memory().stats();
+    println!("\n== memory system ==");
+    println!(
+        "refs: {} ({} ifetch, {} load, {} store)",
+        stats.total_accesses(),
+        stats.ifetch.accesses,
+        stats.load.accesses,
+        stats.store.accesses
+    );
+    println!(
+        "L2 demand misses: {} ({} satisfied cache-to-cache)",
+        stats.total_l2_misses(),
+        stats.total_c2c()
+    );
+}

@@ -1,0 +1,23 @@
+//! The chip-multiprocessor question (the paper's Figure 16): is a 1 MB
+//! *shared* L2 better than private 1 MB L2s? The two middleware
+//! benchmarks give opposite answers.
+//!
+//! Run with: `cargo run --release --example shared_cache_cmp`
+
+use middlesim::figures::fig16;
+use middlesim::Effort;
+
+fn main() {
+    let fig = fig16::run(Effort::Quick);
+    println!("{}", fig.table());
+    println!("ECperf's small, heavily shared working set wants the shared cache");
+    println!("(coherence misses vanish); SPECjbb's warehouse data wants capacity.");
+    let violations = fig.shape_violations();
+    if violations.is_empty() {
+        println!("\n[the paper's crossover reproduces]");
+    } else {
+        for v in violations {
+            println!("\n[deviation] {v}");
+        }
+    }
+}

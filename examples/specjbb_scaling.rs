@@ -1,0 +1,34 @@
+//! SPECjbb throughput scaling (the paper's Figure 4, SPECjbb curve):
+//! sweep the processor set from 1 to 12 and print speedups, CPI and the
+//! execution-mode breakdown.
+//!
+//! Run with: `cargo run --release --example specjbb_scaling`
+
+use middlesim::{jbb_machine, measure, Effort};
+
+fn main() {
+    let effort = Effort::Quick;
+    let mut base = None;
+    println!("  P     tput  speedup   CPI   user   sys  idle  gc-idle  c2c%");
+    for p in [1usize, 2, 4, 8, 12] {
+        // "Optimal warehouses at each system size": 2 per processor.
+        let mut machine = jbb_machine(p, 2 * p, 1, effort);
+        let r = measure(&mut machine, effort);
+        let tput = r.throughput();
+        let base = *base.get_or_insert(tput);
+        println!(
+            " {:>2} {:>8.0} {:>8.2} {:>5.2} {:>6.2} {:>5.2} {:>5.2} {:>8.2} {:>5.1}",
+            p,
+            tput,
+            tput / base,
+            r.cpi.cpi(),
+            r.modes.user,
+            r.modes.system,
+            r.modes.idle,
+            r.modes.gc_idle,
+            r.c2c_ratio * 100.0
+        );
+    }
+    println!("\nThe paper's shape: speedup levels off around 7 from ~10 processors,");
+    println!("CPI grows ~33% (all of it data stall), idle time appears at scale.");
+}

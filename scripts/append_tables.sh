@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Appends the latest standard-effort figure tables to EXPERIMENTS.md.
+# Usage: scripts/append_tables.sh [figures_standard.txt]
+set -euo pipefail
+src="${1:-figures_standard.txt}"
+out="EXPERIMENTS.md"
+# Drop anything after the raw-output marker, then re-append.
+marker="## Raw standard-effort output"
+if grep -q "$marker" "$out"; then
+  sed -i "/^$marker/,\$d" "$out"
+fi
+{
+  echo "$marker"
+  echo
+  echo '```'
+  cat "$src"
+  echo '```'
+} >> "$out"
+echo "appended $(wc -l < "$src") lines from $src"

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the workloads driven through the full
+//! machine (scheduler + coherent memory system + JVM substrate), checking
+//! the paper's headline *relationships* end to end.
+
+use middlesim::{ecperf_machine, jbb_machine, measure, Effort};
+use workloads::model::Workload as _;
+
+const E: Effort = Effort::Quick;
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut m = jbb_machine(4, 8, seed, E);
+        let r = measure(&mut m, E);
+        (
+            r.transactions,
+            m.memory().stats().total_accesses(),
+            m.memory().stats().total_c2c(),
+        )
+    };
+    assert_eq!(run(7), run(7), "same seed, same universe");
+    assert_ne!(run(7), run(8), "different seeds diverge");
+}
+
+#[test]
+fn both_workloads_reach_steady_state_on_eight_processors() {
+    let mut jbb = jbb_machine(8, 16, 1, E);
+    let rj = measure(&mut jbb, E);
+    assert!(rj.transactions > 1_000, "jbb txs: {}", rj.transactions);
+    let mut ec = ecperf_machine(8, 1, E);
+    let re = measure(&mut ec, E);
+    assert!(re.transactions > 200, "ecperf BBops: {}", re.transactions);
+    // Both mode breakdowns are complete.
+    assert!((rj.modes.sum() - 1.0).abs() < 0.02);
+    assert!((re.modes.sum() - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn ecperf_does_kernel_work_and_specjbb_does_not() {
+    let mut jbb = jbb_machine(4, 8, 1, E);
+    let rj = measure(&mut jbb, E);
+    let mut ec = ecperf_machine(4, 1, E);
+    let re = measure(&mut ec, E);
+    assert!(
+        re.modes.system > 3.0 * rj.modes.system,
+        "ECperf system {:.3} must dwarf SPECjbb's {:.3} (paper Figure 5)",
+        re.modes.system,
+        rj.modes.system
+    );
+}
+
+#[test]
+fn ecperf_instruction_footprint_dwarfs_specjbb() {
+    let jbb = jbb_machine(1, 2, 1, E);
+    let ec = ecperf_machine(1, 1, E);
+    assert!(
+        ec.workload().code_footprint() > 3 * jbb.workload().code_footprint(),
+        "paper Figure 12's cause"
+    );
+}
+
+#[test]
+fn garbage_collection_stops_the_world_exactly_once_at_a_time() {
+    let mut m = jbb_machine(4, 8, 1, E);
+    m.run_until(3 * E.window());
+    let intervals = m.gc_intervals().to_vec();
+    assert!(!intervals.is_empty(), "collections must happen");
+    for w in intervals.windows(2) {
+        assert!(
+            w[1].0 >= w[0].1,
+            "GC intervals overlap: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn coherence_traffic_requires_multiple_processors() {
+    let mut single = jbb_machine(1, 2, 1, E);
+    let r1 = measure(&mut single, E);
+    let mut multi = jbb_machine(8, 16, 1, E);
+    let r8 = measure(&mut multi, E);
+    assert!(
+        r8.c2c_ratio > r1.c2c_ratio,
+        "c2c ratio must grow with processors: {:.3} -> {:.3}",
+        r1.c2c_ratio,
+        r8.c2c_ratio
+    );
+    // Even one benchmark processor sees some transfers (the OS runs on
+    // all sixteen) — paper Figure 8.
+    assert!(r1.c2c_ratio > 0.0);
+}
+
+#[test]
+fn specjbb_heap_grows_with_warehouses_ecperf_does_not_grow_with_ir() {
+    let live_of = |m: &mut middlesim::Machine<workloads::specjbb::SpecJbb>| {
+        m.run_until(3 * E.window());
+        m.workload().heap_after_last_gc().unwrap_or(0)
+    };
+    let mut small = jbb_machine(4, 4, 1, E);
+    let mut large = jbb_machine(4, 16, 1, E);
+    let (s, l) = (live_of(&mut small), live_of(&mut large));
+    assert!(
+        l > s + s / 2,
+        "4x warehouses must grow the live heap: {s} -> {l}"
+    );
+}
+
+#[test]
+fn throughput_scales_then_saturates() {
+    let tput = |p: usize| {
+        let mut m = jbb_machine(p, 2 * p, 1, E);
+        measure(&mut m, E).throughput()
+    };
+    let t1 = tput(1);
+    let t4 = tput(4);
+    let t12 = tput(12);
+    assert!(t4 > 2.0 * t1, "4p should be >2x 1p: {t1:.0} -> {t4:.0}");
+    assert!(t12 > t4, "12p should beat 4p");
+    assert!(
+        t12 < 12.0 * t1,
+        "12p must be sub-linear (the paper's whole point)"
+    );
+}

@@ -1,0 +1,97 @@
+//! Integration tests exercising the memory system through the public
+//! facade with workload-like reference patterns.
+
+use java_middleware_memsim::memsys::{
+    AccessKind, Addr, CacheSweep, HierarchyConfig, HitLevel, MemorySystem,
+};
+
+#[test]
+fn producer_consumer_pattern_is_all_cache_to_cache() {
+    let mut sys = MemorySystem::e6000(2).unwrap();
+    // Warm: producer writes a buffer; consumer reads it; repeat with
+    // role reversal. After warm-up every handoff is a snoop copyback.
+    for round in 0..20u64 {
+        let (producer, consumer) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+        for line in 0..32u64 {
+            sys.access(producer, AccessKind::Store, Addr(0x10_0000 + line * 64));
+        }
+        for line in 0..32u64 {
+            sys.access(consumer, AccessKind::Load, Addr(0x10_0000 + line * 64));
+        }
+    }
+    let ratio = sys.stats().c2c_ratio();
+    assert!(ratio > 0.8, "handoffs must be cache-to-cache: {ratio:.2}");
+}
+
+#[test]
+fn shared_l2_absorbs_the_same_pattern() {
+    let mut b = HierarchyConfig::builder(2);
+    b.cpus_per_l2(2);
+    let mut sys = MemorySystem::new(b.build().unwrap());
+    for round in 0..20u64 {
+        let (producer, consumer) = if round % 2 == 0 { (0, 1) } else { (1, 0) };
+        for line in 0..32u64 {
+            sys.access(producer, AccessKind::Store, Addr(0x10_0000 + line * 64));
+        }
+        for line in 0..32u64 {
+            sys.access(consumer, AccessKind::Load, Addr(0x10_0000 + line * 64));
+        }
+    }
+    assert_eq!(
+        sys.stats().total_c2c(),
+        0,
+        "one shared cache: no coherence misses at all (Figure 16's win)"
+    );
+}
+
+#[test]
+fn false_sharing_bounces_a_single_line() {
+    let mut sys = MemorySystem::e6000(4).unwrap();
+    for i in 0..100u64 {
+        sys.access((i % 4) as usize, AccessKind::Store, Addr(0x2000));
+    }
+    assert!(sys.stats().total_c2c() > 70, "every other write bounces");
+}
+
+#[test]
+fn streaming_scan_misses_once_per_line() {
+    let mut sys = MemorySystem::e6000(1).unwrap();
+    for line in 0..1000u64 {
+        let o = sys.access(0, AccessKind::Load, Addr(line * 64));
+        assert_eq!(o.level, HitLevel::Memory, "cold scan misses to memory");
+    }
+    for line in 0..100u64 {
+        let o = sys.access(0, AccessKind::Load, Addr(line * 64));
+        assert_ne!(o.level, HitLevel::Memory, "1000 lines fit the 1MB L2");
+    }
+}
+
+#[test]
+fn sweep_and_system_agree_on_uniprocessor_misses() {
+    // The bank-of-caches sweep at 1 MB must match a real 1 MB L2 on the
+    // same stream (same geometry, same LRU).
+    let mut sys = MemorySystem::e6000(1).unwrap();
+    let mut sweep = CacheSweep::new(&[1 << 20]).unwrap();
+    let mut misses = 0u64;
+    let mut addr = 0u64;
+    for i in 0..50_000u64 {
+        addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(i)) % (4 << 20);
+        let a = Addr(addr & !63);
+        sweep.access(a);
+        let o = sys.access(0, AccessKind::Load, a);
+        if o.level.is_l2_data_miss() {
+            misses += 1;
+        }
+    }
+    // The L2 sits behind a filtering L1 (hits never update the L2's
+    // LRU), so agreement is near-exact rather than exact.
+    let (_, point) = sweep.results()[0];
+    let diff = point.misses.abs_diff(misses) as f64 / misses.max(1) as f64;
+    assert!(
+        diff < 0.02,
+        "sweep ({}) vs L2 ({}) diverged by {:.1}%",
+        point.misses,
+        misses,
+        diff * 100.0
+    );
+}
