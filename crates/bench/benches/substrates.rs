@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use jvm::heap::{Heap, HeapConfig, HeapGeometry};
 use memsys::{AccessKind, Addr, AddrRange, Cache, CacheConfig, CountingSink, MemorySystem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::SimRng;
 use workloads::ecperf::cache::{BeanKey, ObjectCache};
 use workloads::objtree::build_table;
 use workloads::zipf::ZipfSampler;
@@ -42,7 +41,7 @@ fn substrates(c: &mut Criterion) {
         );
         let mut sink = CountingSink::new();
         let tree = build_table(&mut heap, 20_000, 448, &mut sink);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         b.iter(|| {
             let key = rng.gen_range(0..20_000u64);
             tree.lookup(key, &heap, &mut sink)
@@ -54,7 +53,7 @@ fn substrates(c: &mut Criterion) {
         for i in 0..10_000u64 {
             cache.insert(BeanKey::new(0, i), jvm::object::ObjectId(i as u32), 0);
         }
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         b.iter(|| {
             let key = BeanKey::new(0, rng.gen_range(0..12_000u64));
             cache.lookup(key, 100)
@@ -63,7 +62,7 @@ fn substrates(c: &mut Criterion) {
 
     c.bench_function("zipf/sample_20k", |b| {
         let z = ZipfSampler::new(20_000, 0.9);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         b.iter(|| z.sample(&mut rng))
     });
 }

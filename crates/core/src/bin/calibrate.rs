@@ -1,8 +1,7 @@
 //! Calibration probe: prints the headline metrics of both workloads so
 //! model constants can be tuned against the paper's figures.
 
-use memsys::CacheSweep;
-use middlesim::{ecperf_machine, jbb_machine, measure, Effort};
+use middlesim::{ecperf_machine, jbb_machine, measure, Effort, SweepObserver};
 
 fn main() {
     let effort = Effort::Quick;
@@ -10,20 +9,34 @@ fn main() {
     for (name, mk) in [("SPECjbb-4wh", 0usize), ("ECperf", 1)] {
         let (isweep, dsweep, instr) = if mk == 0 {
             let mut m = jbb_machine(1, 4, 1, effort);
-            m.attach_sweeps(CacheSweep::paper(), CacheSweep::paper());
+            let sweeps = m.attach_observer(SweepObserver::paper());
             let r = measure(&mut m, effort);
-            (m.isweep().unwrap().results(), m.dsweep().unwrap().results(), r.cpi.instructions)
+            let s = m.observer(sweeps);
+            (
+                s.isweep().results(),
+                s.dsweep().results(),
+                r.cpi.instructions,
+            )
         } else {
             let mut m = ecperf_machine(1, 1, effort);
-            m.attach_sweeps(CacheSweep::paper(), CacheSweep::paper());
+            let sweeps = m.attach_observer(SweepObserver::paper());
             let r = measure(&mut m, effort);
-            (m.isweep().unwrap().results(), m.dsweep().unwrap().results(), r.cpi.instructions)
+            let s = m.observer(sweeps);
+            (
+                s.isweep().results(),
+                s.dsweep().results(),
+                r.cpi.instructions,
+            )
         };
         println!("-- {name} (instr={instr}) --");
         println!("  size      I-miss/1k   D-miss/1k");
         for ((sz, ip), (_, dp)) in isweep.iter().zip(&dsweep) {
-            println!("  {:>7}KB  {:>9.3}  {:>9.3}", sz >> 10,
-                ip.misses_per_kilo_instr(instr), dp.misses_per_kilo_instr(instr));
+            println!(
+                "  {:>7}KB  {:>9.3}  {:>9.3}",
+                sz >> 10,
+                ip.misses_per_kilo_instr(instr),
+                dp.misses_per_kilo_instr(instr)
+            );
         }
     }
 

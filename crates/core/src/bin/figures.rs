@@ -3,8 +3,8 @@
 //!
 //! Usage: `figures [quick|standard|full] [4|5|...|16|ablations|all]`
 
-use middlesim::figures::{self, processor_axis, scaling::run_scaling};
-use middlesim::Effort;
+use middlesim::figures::{self, processor_axis, scaling::run_scaling_with};
+use middlesim::{Effort, ExperimentPlan};
 
 fn effort_from(arg: Option<&str>) -> Effort {
     match arg {
@@ -32,11 +32,15 @@ fn main() {
     let effort = effort_from(args.get(1).map(|s| s.as_str()));
     let which = args.get(2).map(|s| s.as_str()).unwrap_or("all");
     let ps = processor_axis(effort);
+    let plan = ExperimentPlan::new(effort);
 
     let scaling_figs = ["4", "5", "6", "7", "8", "9"];
     if which == "all" || scaling_figs.contains(&which) {
-        eprintln!("running scaling sweep over {ps:?} at {effort:?}...");
-        let data = run_scaling(effort, ps);
+        eprintln!(
+            "running scaling sweep over {ps:?} at {effort:?} ({} workers)...",
+            plan.threads()
+        );
+        let data = run_scaling_with(&plan, ps);
         if which == "all" || which == "4" {
             let f = figures::fig04::from_data(&data);
             report("Figure 4", f.table(), f.shape_violations());
@@ -81,13 +85,13 @@ fn main() {
             Effort::Quick => &figures::fig11::QUICK_SCALE_AXIS[..],
             _ => &figures::fig11::PAPER_SCALE_AXIS[..],
         };
-        let f = figures::fig11::run(effort, axis);
+        let f = figures::fig11::run_with(&plan, axis);
         report("Figure 11", f.table(), f.shape_violations());
     }
 
     if which == "all" || which == "12" || which == "13" {
         eprintln!("running figure 12/13 uniprocessor sweeps...");
-        let data = figures::fig12::run_sweeps(effort);
+        let data = figures::fig12::run_sweeps_with(&plan);
         let f12 = figures::fig12::from_data(&data);
         report("Figure 12", f12.table(), f12.shape_violations());
         let f13 = figures::fig13::from_data(&data);
@@ -96,7 +100,7 @@ fn main() {
 
     if which == "all" || which == "14" || which == "15" {
         eprintln!("running figure 14/15 communication footprints...");
-        let f14 = figures::fig14::run(effort, 8);
+        let f14 = figures::fig14::run_with(&plan, 8);
         let f15 = figures::fig15::from_fig14(&f14);
         report("Figure 14", f14.table(), f14.shape_violations());
         report("Figure 15", f15.table(), f15.shape_violations());
@@ -104,7 +108,7 @@ fn main() {
 
     if which == "all" || which == "16" {
         eprintln!("running figure 16 shared-cache topologies...");
-        let f = figures::fig16::run(effort);
+        let f = figures::fig16::run_with(&plan);
         report("Figure 16", f.table(), f.shape_violations());
     }
 

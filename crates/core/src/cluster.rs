@@ -18,8 +18,8 @@ use simstats::{fbytes, fnum, Table};
 use workloads::ecperf::database::{Database, DatabaseConfig};
 use workloads::ecperf::{DbQuery, Ecperf, EcperfConfig};
 
+use crate::engine::{Machine, WindowReport};
 use crate::experiment::{ecperf_machine_with, measure};
-use crate::machine::{Machine, WindowReport};
 use crate::Effort;
 
 /// Address base of the database machine's memory (its own machine: the
@@ -56,11 +56,7 @@ impl ClusterReport {
             format!("{} BBops/s", fnum(self.app.throughput())),
             format!("{} queries", self.db_queries),
         ]);
-        t.row(&[
-            "CPI".into(),
-            fnum(self.app.cpi.cpi()),
-            fnum(self.db_cpi),
-        ]);
+        t.row(&["CPI".into(), fnum(self.app.cpi.cpi()), fnum(self.db_cpi)]);
         t.row(&[
             "data misses / 1000 instr".into(),
             fnum(self.app_miss_per_kilo),
@@ -162,7 +158,11 @@ mod tests {
     #[test]
     fn cluster_runs_both_tiers() {
         let r = run_cluster(2, Effort::Quick);
-        assert!(r.app.transactions > 50, "app tier ran: {}", r.app.transactions);
+        assert!(
+            r.app.transactions > 50,
+            "app tier ran: {}",
+            r.app.transactions
+        );
         assert!(r.db_queries > 50, "queries were logged: {}", r.db_queries);
         assert!(r.db_cpi > 1.0, "db CPI plausible: {}", r.db_cpi);
         assert!(r.db_pool_bytes > 0);

@@ -1,0 +1,468 @@
+//! The discrete-event kernel: [`Machine`] advances a workload over the
+//! simulated processors.
+//!
+//! This is the harness's equivalent of the paper's instrumented E6000 +
+//! Simics setup. The kernel owns the coherent [`MemorySystem`], the
+//! per-processor [`CpuTimer`]s and the workload; it delegates *who runs
+//! where* to the [`Scheduler`](super::Scheduler), stop-the-world
+//! collections to the [`GcDriver`](super::GcDriver), and all
+//! clock/mode bookkeeping to [`Accounting`]. Background OS clock ticks
+//! on *every* machine processor touch shared kernel lines — the reason
+//! the paper sees cache-to-cache transfers even with the benchmark bound
+//! to one processor (Figure 8).
+
+use memsys::{AccessKind, Addr, HierarchyConfig, MemSink, MemorySystem};
+use prng::SimRng;
+use simcpu::{CpiReport, CpuTimer, LatencyTable, PipelineParams};
+use sysos::modes::ExecMode;
+use sysos::tlb::{Tlb, TlbConfig};
+use workloads::model::{Control, StepCtx, Workload};
+
+use super::accounting::{Accounting, WindowReport};
+use super::dispatch::{SchedParams, Scheduler};
+use super::gc_driver::GcDriver;
+use super::observer::{AccessEvent, AccessSource, ObserverHandle, ObserverSet, SimObserver};
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cache hierarchy (defaults: E6000 with 16 processors).
+    pub hierarchy: HierarchyConfig,
+    /// Processors the benchmark is bound to (`psrset`).
+    pub pset: usize,
+    /// Pipeline parameters.
+    pub pipeline: PipelineParams,
+    /// Memory latencies.
+    pub latency: LatencyTable,
+    /// Optional per-processor data TLB (the ISM ablation).
+    pub tlb: Option<TlbConfig>,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Cycles between OS clock ticks on each processor.
+    pub tick_period: u64,
+    /// Busy cycles charged per tick handler.
+    pub tick_cost: u64,
+    /// Cycle width of one timeline bucket (Figure 10's "100 ms").
+    pub timeline_bucket: u64,
+    /// Scheduler time quantum in cycles (Solaris TS-class preemption).
+    /// A running thread is preempted at the next step boundary once its
+    /// quantum expires and another thread is ready.
+    pub quantum: u64,
+    /// Kernel cycles charged per context switch.
+    pub ctx_switch_cost: u64,
+    /// Affinity rechoose interval: a ready thread is only migrated to a
+    /// foreign processor after waiting this long (Solaris
+    /// `rechoose_interval`); before that, a free foreign processor lets
+    /// it wait for its home processor.
+    pub rechoose: u64,
+}
+
+impl MachineConfig {
+    /// An E6000-like machine with the benchmark bound to `pset` of 16
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pset` is 0 or greater than 16.
+    pub fn e6000(pset: usize) -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::e6000(16).expect("16-cpu E6000 config"),
+            pset,
+            pipeline: PipelineParams::default(),
+            latency: LatencyTable::e6000(),
+            tlb: None,
+            seed: 1,
+            tick_period: 250_000,
+            tick_cost: 1_500,
+            timeline_bucket: 24_800_000, // 100 ms at 248 MHz
+            quantum: 40_000_000,         // ~160 ms (compute-bound TS threads)
+            ctx_switch_cost: 3_000,
+            rechoose: 0,
+        }
+    }
+
+    /// Same machine but with exactly `cpus` processors (no spare OS
+    /// processors) — used by the shared-cache topology experiments where
+    /// the hierarchy itself is the subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn dedicated(hierarchy: HierarchyConfig) -> Self {
+        let cpus = hierarchy.cpus;
+        MachineConfig {
+            hierarchy,
+            pset: cpus,
+            ..MachineConfig::e6000(1)
+        }
+    }
+
+    fn sched_params(&self) -> SchedParams {
+        SchedParams {
+            quantum: self.quantum,
+            ctx_switch_cost: self.ctx_switch_cost,
+            rechoose: self.rechoose,
+        }
+    }
+}
+
+/// The simulated machine driving a workload.
+pub struct Machine<W: Workload> {
+    cfg: MachineConfig,
+    workload: W,
+    mem: MemorySystem,
+    timers: Vec<CpuTimer>,
+    tlbs: Option<Vec<Tlb>>,
+    rng: SimRng,
+    next_tick: u64,
+    acct: Accounting,
+    sched: Scheduler,
+    gc: GcDriver,
+    observers: ObserverSet,
+}
+
+/// Sink wiring one step's references into the memory system and a CPU
+/// timer, optionally through a TLB, and past the attached observers.
+struct StepSink<'a> {
+    mem: &'a mut MemorySystem,
+    timer: &'a mut CpuTimer,
+    tlb: Option<&'a mut Tlb>,
+    cpu: usize,
+    observers: &'a mut ObserverSet,
+    source: AccessSource,
+    base_clock: u64,
+    start_cycles: u64,
+}
+
+impl MemSink for StepSink<'_> {
+    fn instructions(&mut self, n: u64) {
+        self.timer.retire(n);
+    }
+
+    fn access(&mut self, kind: AccessKind, addr: Addr) {
+        if kind.is_data() {
+            if let Some(tlb) = &mut self.tlb {
+                let stall = tlb.access(addr);
+                if stall > 0 {
+                    self.timer.stall_extra(stall);
+                }
+            }
+        }
+        let outcome = self.mem.access(self.cpu, kind, addr);
+        match kind {
+            AccessKind::Ifetch => self.timer.ifetch(&outcome),
+            AccessKind::Load => self.timer.load(&outcome),
+            AccessKind::Store => self.timer.store(&outcome),
+        }
+        if !self.observers.is_empty() {
+            // The issuing processor's time: its clock at step start plus
+            // the cycles the timer has charged since (including this
+            // access's own latency, so a c2c lands in the bucket where
+            // the transfer completed).
+            let now = self.base_clock + (self.timer.cycles() - self.start_cycles);
+            self.observers.access(&AccessEvent {
+                cpu: self.cpu,
+                kind,
+                addr,
+                outcome: &outcome,
+                now,
+                source: self.source,
+            });
+        }
+    }
+}
+
+impl<W: Workload> Machine<W> {
+    /// Builds a machine around a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor set is empty or exceeds the machine size.
+    pub fn new(cfg: MachineConfig, workload: W) -> Self {
+        let cpus = cfg.hierarchy.cpus;
+        let sched = Scheduler::new(
+            cfg.sched_params(),
+            sysos::sched::ProcessorSet::first_n(cfg.pset, cpus),
+            cpus,
+            workload.thread_count(),
+            workload.lock_table(),
+        );
+        Machine {
+            mem: MemorySystem::new(cfg.hierarchy),
+            timers: (0..cpus)
+                .map(|_| CpuTimer::new(cfg.pipeline, cfg.latency))
+                .collect(),
+            tlbs: cfg.tlb.map(|t| (0..cpus).map(|_| Tlb::new(t)).collect()),
+            rng: SimRng::seed_from_u64(cfg.seed),
+            next_tick: cfg.tick_period,
+            acct: Accounting::new(cpus),
+            sched,
+            gc: GcDriver::new(),
+            observers: ObserverSet::new(),
+            workload,
+            cfg,
+        }
+    }
+
+    /// The workload (for inspection).
+    pub fn workload(&self) -> &W {
+        &self.workload
+    }
+
+    /// Mutable workload access (e.g. re-tuning between windows).
+    pub fn workload_mut(&mut self) -> &mut W {
+        &mut self.workload
+    }
+
+    /// The memory system (for inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Attaches an observer; redeem the handle after the run with
+    /// [`Machine::observer`].
+    pub fn attach_observer<T: SimObserver>(&mut self, observer: T) -> ObserverHandle<T> {
+        self.observers.attach(observer)
+    }
+
+    /// The observer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different machine.
+    pub fn observer<T: SimObserver>(&self, handle: ObserverHandle<T>) -> &T {
+        self.observers.get(handle)
+    }
+
+    /// Mutable access to the observer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different machine.
+    pub fn observer_mut<T: SimObserver>(&mut self, handle: ObserverHandle<T>) -> &mut T {
+        self.observers.get_mut(handle)
+    }
+
+    /// Current virtual time: the slowest running processor's clock (all
+    /// processors' progress is bounded below by it).
+    pub fn time(&self) -> u64 {
+        self.sched.time(&self.acct)
+    }
+
+    /// Completed transactions since construction.
+    pub fn transactions(&self) -> u64 {
+        self.acct.transactions()
+    }
+
+    /// Collections since construction.
+    pub fn gc_count(&self) -> u64 {
+        self.gc.gc_count()
+    }
+
+    /// GC intervals `(start, end)` in cycles since the last window reset.
+    pub fn gc_intervals(&self) -> &[(u64, u64)] {
+        self.gc.intervals()
+    }
+
+    /// Background OS clock tick across every machine processor: each
+    /// handler dirties a per-processor line and the global run-queue /
+    /// time-of-day lines (shared kernel state).
+    fn os_tick(&mut self, at: u64) {
+        // Kernel lines live in a reserved low region no workload uses.
+        const KERNEL_GLOBALS: u64 = 0x0000_F000;
+        let cpus = self.acct.cpus();
+        for cpu in 0..cpus {
+            let refs = [
+                (AccessKind::Store, Addr(KERNEL_GLOBALS)),
+                (AccessKind::Load, Addr(KERNEL_GLOBALS + 64)),
+                (AccessKind::Store, Addr(0x1_0000 + (cpu as u64) * 64)),
+            ];
+            for (kind, addr) in refs {
+                let outcome = self.mem.access(cpu, kind, addr);
+                if !self.observers.is_empty() {
+                    self.observers.access(&AccessEvent {
+                        cpu,
+                        kind,
+                        addr,
+                        outcome: &outcome,
+                        now: at,
+                        source: AccessSource::KernelTick,
+                    });
+                }
+            }
+            // Tick handlers interrupt whatever the cpu is doing.
+            self.acct.advance(cpu, ExecMode::System, self.cfg.tick_cost);
+        }
+    }
+
+    /// Runs one thread's step on `cpu`.
+    fn step_thread(&mut self, cpu: usize) {
+        let thread = self.sched.thread_on(cpu).expect("step_thread on busy cpu");
+        let before = self.timers[cpu].report().cycles();
+        let result = {
+            let mut sink = StepSink {
+                mem: &mut self.mem,
+                timer: &mut self.timers[cpu],
+                tlb: self.tlbs.as_mut().map(|t| &mut t[cpu]),
+                cpu,
+                observers: &mut self.observers,
+                source: AccessSource::Workload,
+                base_clock: self.acct.clock(cpu),
+                start_cycles: before,
+            };
+            let mut ctx = StepCtx {
+                sink: &mut sink,
+                rng: &mut self.rng,
+                now: self.acct.clock(cpu),
+            };
+            self.workload.step(thread, &mut ctx)
+        };
+        let delta = self.timers[cpu].report().cycles() - before;
+        self.acct.advance(cpu, result.mode, delta);
+
+        match result.control {
+            Control::Continue => self.sched.maybe_preempt(cpu, &mut self.acct),
+            Control::TxDone => {
+                self.acct.tx_done();
+                self.observers.tx_done(cpu, self.acct.clock(cpu));
+                self.sched.maybe_preempt(cpu, &mut self.acct);
+            }
+            Control::Acquire(lock) => self.sched.acquire(thread, cpu, lock.0, result.mode),
+            Control::Release(lock) => self.sched.release(cpu, lock.0, &mut self.acct),
+            Control::IoWait(cycles) => {
+                let until = self.acct.clock(cpu) + cycles;
+                self.sched.sleep(cpu, until);
+            }
+            Control::NeedsGc => self.run_gc(cpu),
+            Control::Done => self.sched.finish(cpu),
+        }
+    }
+
+    /// Stop-the-world collection on `cpu`.
+    fn run_gc(&mut self, cpu: usize) {
+        let Machine {
+            mem,
+            timers,
+            tlbs,
+            workload,
+            observers,
+            gc,
+            acct,
+            sched,
+            ..
+        } = self;
+        let before = timers[cpu].report().cycles();
+        let (start, end) = gc.collect(acct, sched.pset(), cpu, |at| {
+            {
+                let mut sink = StepSink {
+                    mem,
+                    timer: &mut timers[cpu],
+                    tlb: tlbs.as_mut().map(|t| &mut t[cpu]),
+                    cpu,
+                    observers,
+                    source: AccessSource::Collector,
+                    base_clock: at,
+                    start_cycles: before,
+                };
+                workload.collect(&mut sink);
+            }
+            timers[cpu].report().cycles() - before
+        });
+        self.observers.gc_interval(start, end);
+    }
+
+    /// Advances the machine until virtual time `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (all threads blocked with no sleeper to wake).
+    pub fn run_until(&mut self, horizon: u64) {
+        loop {
+            self.sched.dispatch(&mut self.acct);
+            let now = self.time();
+            if self.sched.running_cpus().next().is_none() {
+                // Nothing running: wake the earliest sleeper or give up.
+                match self.sched.earliest_wake() {
+                    Some(wake) => {
+                        self.sched.wake_sleepers(wake);
+                        self.sched.dispatch(&mut self.acct);
+                    }
+                    None => {
+                        assert!(
+                            self.sched.has_ready(),
+                            "deadlock: no runnable, sleeping or ready thread"
+                        );
+                        continue;
+                    }
+                }
+            }
+            let now = self.time().max(now);
+            if now >= horizon {
+                break;
+            }
+            self.sched.wake_sleepers(now);
+            while self.next_tick <= now {
+                let at = self.next_tick;
+                self.os_tick(at);
+                self.next_tick += self.cfg.tick_period;
+            }
+            // Step the slowest steppable processor (spinners wait for
+            // their lock grant; stepping them would violate the
+            // acquire contract).
+            let Some(cpu) = self
+                .sched
+                .steppable_cpus()
+                .min_by_key(|&c| self.acct.clock(c))
+            else {
+                // Only spinners are running: their holders must be among
+                // ready/sleeping threads; force progress by dispatching
+                // or waking.
+                match self.sched.earliest_wake() {
+                    Some(wake) => self.sched.wake_sleepers(wake),
+                    None => assert!(
+                        self.sched.has_ready(),
+                        "livelock: every running thread spins and nothing can release"
+                    ),
+                }
+                continue;
+            };
+            self.step_thread(cpu);
+        }
+        // Close the books: idle-fill every benchmark processor to the
+        // horizon so mode fractions cover the whole window.
+        for &c in self.sched.pset().cpus() {
+            self.acct.fill(c, horizon, ExecMode::Idle);
+        }
+    }
+
+    /// Ends the warm-up phase: resets all measured statistics while
+    /// keeping caches, heap and scheduler state warm.
+    pub fn begin_measurement(&mut self) {
+        self.mem.reset_stats();
+        for t in &mut self.timers {
+            t.reset();
+        }
+        let now = self.time();
+        self.acct.begin_window(now);
+        self.gc.begin_window();
+        self.observers.window_reset();
+    }
+
+    /// Produces the report for the current measurement window.
+    pub fn window_report(&self) -> WindowReport {
+        let cycles = self.time().saturating_sub(self.acct.window_start());
+        let mut cpi = CpiReport::default();
+        for &c in self.sched.pset().cpus() {
+            cpi = cpi.merge(&self.timers[c].report());
+        }
+        WindowReport {
+            transactions: self.acct.window_transactions(),
+            cycles,
+            cpi,
+            modes: self.acct.pset_breakdown(self.sched.pset()),
+            gc_cycles: self.gc.window_gc_cycles(),
+            gc_count: self.gc.window_gc_count(),
+            c2c_ratio: self.mem.stats().c2c_ratio(),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The layered simulation engine.
+//!
+//! The machine is split into four units behind narrow interfaces:
+//!
+//! - [`kernel`] — the discrete-event loop: [`Machine`] owns the memory
+//!   system, CPU timers and workload, advances virtual time, and wires
+//!   each step's references through the sink;
+//! - [`dispatch`] — the scheduler: ready queue, affinity, quantum
+//!   preemption, locks, sleeps;
+//! - [`gc_driver`] — stop-the-world collection choreography and GC
+//!   bookkeeping;
+//! - [`accounting`] — per-processor clocks, execution-mode accounting and
+//!   window-scoped counters;
+//! - [`observer`] — the [`SimObserver`] seam through which timelines,
+//!   cache sweeps and per-line statistics watch a run.
+//!
+//! The kernel is the only unit that touches the memory system; the
+//! scheduler and GC driver manipulate time exclusively through
+//! [`accounting::Accounting`], which is what keeps mode fractions summing
+//! to one (Figure 5) regardless of how control moves between layers.
+
+pub mod accounting;
+pub mod dispatch;
+pub mod gc_driver;
+pub mod kernel;
+pub mod observer;
+
+pub use accounting::{Accounting, WindowReport};
+pub use dispatch::{SchedParams, Scheduler};
+pub use gc_driver::GcDriver;
+pub use kernel::{Machine, MachineConfig};
+pub use observer::{
+    AccessEvent, AccessSource, LineStatsObserver, ObserverHandle, ObserverSet, SimObserver,
+    SweepObserver, TimelineBucket, TimelineObserver,
+};

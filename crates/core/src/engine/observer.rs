@@ -1,0 +1,430 @@
+//! The unified observation seam: [`SimObserver`].
+//!
+//! The engine emits a small set of events — every memory reference (with
+//! its coherence outcome), every completed transaction, every GC interval
+//! — and anything that wants to *watch* a run attaches an observer
+//! instead of growing the machine a bespoke method. The Figure 10
+//! timeline, the Figure 12/13 cache-size sweeps and the Figure 14/15
+//! communication footprints are all observers; future tracing and
+//! sampling hooks attach the same way.
+//!
+//! Observers are deliberately downstream of [`memsys::MemSink`]: a sink
+//! is *in* the reference path (the workload pushes references through it
+//! into the memory system and the CPU timer), while an observer stands
+//! beside the path and sees each reference together with what the memory
+//! system said about it.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use memsys::{AccessKind, AccessOutcome, Addr, CacheSweep, LineStats};
+
+/// Where a memory reference came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessSource {
+    /// A workload thread's step.
+    Workload,
+    /// The single-threaded stop-the-world collector.
+    Collector,
+    /// The background OS clock tick (kernel lines, every processor).
+    KernelTick,
+}
+
+/// One observed memory reference.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEvent<'a> {
+    /// Processor that issued the reference.
+    pub cpu: usize,
+    /// Reference kind.
+    pub kind: AccessKind,
+    /// Referenced address.
+    pub addr: Addr,
+    /// What the memory system did with it.
+    pub outcome: &'a AccessOutcome,
+    /// The issuing processor's virtual time in cycles.
+    pub now: u64,
+    /// Which part of the simulated system issued it.
+    pub source: AccessSource,
+}
+
+/// A passive observer of a machine's execution.
+///
+/// All methods default to no-ops so an observer implements only what it
+/// watches. The `Any` supertrait lets the machine hand back a typed
+/// reference via [`ObserverHandle`] after the run.
+pub trait SimObserver: Any {
+    /// Called for every memory reference, after the memory system
+    /// resolved it.
+    fn on_access(&mut self, _event: &AccessEvent<'_>) {}
+
+    /// Called when a stop-the-world collection finishes, with its
+    /// `[start, end)` interval in cycles.
+    fn on_gc_interval(&mut self, _start: u64, _end: u64) {}
+
+    /// Called when a transaction completes on `cpu` at time `now`.
+    fn on_tx_done(&mut self, _cpu: usize, _now: u64) {}
+
+    /// Called by `begin_measurement`: discard warm-up observations.
+    fn on_window_reset(&mut self) {}
+}
+
+/// A typed handle to an attached observer, returned by
+/// `Machine::attach_observer` and redeemed after the run.
+pub struct ObserverHandle<T> {
+    pub(crate) index: usize,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+// Derived impls would bound `T`; handles are plain indices.
+impl<T> Clone for ObserverHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ObserverHandle<T> {}
+
+/// The machine's collection of attached observers.
+#[derive(Default)]
+pub struct ObserverSet {
+    observers: Vec<Box<dyn SimObserver>>,
+}
+
+impl ObserverSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ObserverSet::default()
+    }
+
+    /// Whether any observer is attached (lets the hot path skip event
+    /// construction entirely).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// Attaches an observer, returning its typed handle.
+    pub fn attach<T: SimObserver>(&mut self, observer: T) -> ObserverHandle<T> {
+        let index = self.observers.len();
+        self.observers.push(Box::new(observer));
+        ObserverHandle {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The observer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different machine.
+    pub fn get<T: SimObserver>(&self, handle: ObserverHandle<T>) -> &T {
+        let obs: &dyn Any = &*self.observers[handle.index];
+        obs.downcast_ref::<T>()
+            .expect("observer handle type mismatch")
+    }
+
+    /// Mutable access to the observer behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different machine.
+    pub fn get_mut<T: SimObserver>(&mut self, handle: ObserverHandle<T>) -> &mut T {
+        let obs: &mut dyn Any = &mut *self.observers[handle.index];
+        obs.downcast_mut::<T>()
+            .expect("observer handle type mismatch")
+    }
+
+    #[inline]
+    pub(crate) fn access(&mut self, event: &AccessEvent<'_>) {
+        for o in &mut self.observers {
+            o.on_access(event);
+        }
+    }
+
+    pub(crate) fn gc_interval(&mut self, start: u64, end: u64) {
+        for o in &mut self.observers {
+            o.on_gc_interval(start, end);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tx_done(&mut self, cpu: usize, now: u64) {
+        for o in &mut self.observers {
+            o.on_tx_done(cpu, now);
+        }
+    }
+
+    pub(crate) fn window_reset(&mut self) {
+        for o in &mut self.observers {
+            o.on_window_reset();
+        }
+    }
+}
+
+/// One bucket of the Figure 10 time series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelineBucket {
+    /// Cache-to-cache transfers observed in the bucket.
+    pub c2c: u64,
+    /// Whether a garbage collection was active during the bucket.
+    pub gc_active: bool,
+}
+
+/// Buckets cache-to-cache transfers over time and marks GC-active
+/// buckets (Figure 10). Counts transfers from *every* source — workload,
+/// collector and kernel ticks — as the paper's hardware counters would.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineObserver {
+    bucket_cycles: u64,
+    buckets: Vec<TimelineBucket>,
+    gc_intervals: Vec<(u64, u64)>,
+}
+
+impl TimelineObserver {
+    /// Creates a timeline with the given bucket width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: u64) -> Self {
+        assert!(bucket_cycles > 0, "timeline bucket must be positive");
+        TimelineObserver {
+            bucket_cycles,
+            buckets: Vec::new(),
+            gc_intervals: Vec::new(),
+        }
+    }
+
+    /// The bucket width in cycles.
+    pub fn bucket_cycles(&self) -> u64 {
+        self.bucket_cycles
+    }
+
+    /// The time series with GC-active marks applied.
+    pub fn timeline(&self) -> Vec<TimelineBucket> {
+        let mut t = self.buckets.clone();
+        for &(s, e) in &self.gc_intervals {
+            let first = (s / self.bucket_cycles) as usize;
+            let last = (e / self.bucket_cycles) as usize;
+            for b in first..=last {
+                if b < t.len() {
+                    t[b].gc_active = true;
+                }
+            }
+        }
+        t
+    }
+
+    fn bump(&mut self, now: u64) {
+        let bucket = (now / self.bucket_cycles) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, TimelineBucket::default());
+        }
+        self.buckets[bucket].c2c += 1;
+    }
+}
+
+impl SimObserver for TimelineObserver {
+    fn on_access(&mut self, event: &AccessEvent<'_>) {
+        if event.outcome.c2c {
+            self.bump(event.now);
+        }
+    }
+
+    fn on_gc_interval(&mut self, start: u64, end: u64) {
+        self.gc_intervals.push((start, end));
+    }
+
+    fn on_window_reset(&mut self) {
+        self.buckets.clear();
+        self.gc_intervals.clear();
+    }
+}
+
+/// Feeds every *benchmark* reference into banks of caches of varying
+/// capacity in a single pass (Figures 12/13). Kernel-tick references are
+/// excluded, as the paper filters its traces to the benchmark's
+/// processors (Section 3.3).
+#[derive(Debug, Clone)]
+pub struct SweepObserver {
+    isweep: CacheSweep,
+    dsweep: CacheSweep,
+}
+
+impl SweepObserver {
+    /// Creates the observer from an instruction and a data sweep.
+    pub fn new(isweep: CacheSweep, dsweep: CacheSweep) -> Self {
+        SweepObserver { isweep, dsweep }
+    }
+
+    /// Both sweeps at the paper's capacity axis.
+    pub fn paper() -> Self {
+        SweepObserver::new(CacheSweep::paper(), CacheSweep::paper())
+    }
+
+    /// The instruction-cache sweep.
+    pub fn isweep(&self) -> &CacheSweep {
+        &self.isweep
+    }
+
+    /// The data-cache sweep.
+    pub fn dsweep(&self) -> &CacheSweep {
+        &self.dsweep
+    }
+}
+
+impl SimObserver for SweepObserver {
+    fn on_access(&mut self, event: &AccessEvent<'_>) {
+        if event.source == AccessSource::KernelTick {
+            return;
+        }
+        if event.kind.is_data() {
+            self.dsweep.access(event.addr);
+        } else {
+            self.isweep.access(event.addr);
+        }
+    }
+
+    fn on_window_reset(&mut self) {
+        self.isweep.reset_stats();
+        self.dsweep.reset_stats();
+    }
+}
+
+/// Tracks per-line communication (Figures 14/15): which lines were
+/// touched and which supplied cache-to-cache transfers.
+#[derive(Debug, Clone, Default)]
+pub struct LineStatsObserver {
+    stats: LineStats,
+}
+
+impl LineStatsObserver {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        LineStatsObserver::default()
+    }
+
+    /// The accumulated per-line statistics.
+    pub fn stats(&self) -> &LineStats {
+        &self.stats
+    }
+}
+
+impl SimObserver for LineStatsObserver {
+    fn on_access(&mut self, event: &AccessEvent<'_>) {
+        let line = event.addr.line();
+        self.stats.record_touch(line);
+        if event.outcome.c2c {
+            self.stats.record_c2c(line);
+        }
+    }
+
+    fn on_window_reset(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsys::HitLevel;
+
+    fn c2c_outcome() -> AccessOutcome {
+        AccessOutcome {
+            level: HitLevel::CacheToCache,
+            c2c: true,
+            writeback: false,
+        }
+    }
+
+    #[test]
+    fn timeline_buckets_and_marks_gc() {
+        let mut t = TimelineObserver::new(100);
+        let o = c2c_outcome();
+        for now in [5u64, 50, 250] {
+            t.on_access(&AccessEvent {
+                cpu: 0,
+                kind: AccessKind::Load,
+                addr: Addr(0),
+                outcome: &o,
+                now,
+                source: AccessSource::Workload,
+            });
+        }
+        t.on_gc_interval(100, 199);
+        let tl = t.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].c2c, 2);
+        assert_eq!(tl[2].c2c, 1);
+        assert!(tl[1].gc_active && !tl[0].gc_active && !tl[2].gc_active);
+    }
+
+    #[test]
+    fn sweep_observer_filters_kernel_ticks() {
+        let mut s = SweepObserver::new(
+            CacheSweep::new(&[1 << 16]).unwrap(),
+            CacheSweep::new(&[1 << 16]).unwrap(),
+        );
+        let o = AccessOutcome {
+            level: HitLevel::Memory,
+            c2c: false,
+            writeback: false,
+        };
+        let mk = |kind, source| AccessEvent {
+            cpu: 0,
+            kind,
+            addr: Addr(0x40),
+            outcome: &o,
+            now: 0,
+            source,
+        };
+        s.on_access(&mk(AccessKind::Load, AccessSource::Workload));
+        s.on_access(&mk(AccessKind::Ifetch, AccessSource::Collector));
+        s.on_access(&mk(AccessKind::Store, AccessSource::KernelTick));
+        assert_eq!(s.dsweep().results()[0].1.accesses, 1, "tick excluded");
+        assert_eq!(s.isweep().results()[0].1.accesses, 1);
+    }
+
+    #[test]
+    fn observer_set_round_trips_typed_handles() {
+        let mut set = ObserverSet::new();
+        let h = set.attach(TimelineObserver::new(10));
+        let o = c2c_outcome();
+        set.access(&AccessEvent {
+            cpu: 1,
+            kind: AccessKind::Store,
+            addr: Addr(0x80),
+            outcome: &o,
+            now: 3,
+            source: AccessSource::Workload,
+        });
+        assert_eq!(set.get(h).timeline()[0].c2c, 1);
+        set.window_reset();
+        assert!(set.get(h).timeline().is_empty());
+    }
+
+    #[test]
+    fn line_stats_observer_tracks_touch_and_c2c() {
+        let mut ls = LineStatsObserver::new();
+        let hit = AccessOutcome {
+            level: HitLevel::L1,
+            c2c: false,
+            writeback: false,
+        };
+        let c2c = c2c_outcome();
+        let mk = |addr, outcome| AccessEvent {
+            cpu: 0,
+            kind: AccessKind::Load,
+            addr: Addr(addr),
+            outcome,
+            now: 0,
+            source: AccessSource::Workload,
+        };
+        ls.on_access(&mk(0x00, &hit));
+        ls.on_access(&mk(0x40, &c2c));
+        ls.on_access(&mk(0x40, &c2c));
+        assert_eq!(ls.stats().touched_lines(), 2);
+        assert_eq!(ls.stats().communicating_lines(), 1);
+        assert_eq!(ls.stats().total_c2c(), 2);
+    }
+}

@@ -1,18 +1,28 @@
 //! Experiment orchestration: workload factories, warm-up/measurement
-//! windows, and the multi-seed variability methodology.
+//! windows, the multi-seed variability methodology, and the parallel
+//! [`ExperimentPlan`] runner all figure experiments fan out through.
 //!
 //! Every figure experiment follows the paper's protocol: build the
 //! workload, warm it up (caches, JIT, bean cache, steady-state heap),
 //! reset all statistics, measure a window, and repeat across seeds to get
 //! means and error bars (Section 3.3).
+//!
+//! Runs at different seeds or configurations never share state — each
+//! builds its own machine and RNG — so the plan can fan them across a
+//! worker pool and still produce *bit-identical* results to a serial run:
+//! outputs are merged in input order, and every floating-point reduction
+//! happens after the merge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use memsys::{Addr, AddrRange};
-use simstats::{run_seeds, Summary};
+use simstats::Summary;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::model::Workload;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::machine::{Machine, MachineConfig, WindowReport};
+use crate::engine::{Machine, MachineConfig, WindowReport};
 
 /// Base address of the workload's memory region: above the engine's
 /// reserved kernel-tick lines, below nothing else.
@@ -68,15 +78,141 @@ impl Effort {
     }
 }
 
+/// A parallel experiment runner: fans independent simulation jobs (seeds
+/// × configurations) over a pool of `std::thread` workers and merges
+/// their results in input order.
+///
+/// Determinism contract: for the same inputs and job function, the
+/// returned vector is identical whatever the thread count — including
+/// `1`, which runs inline with no pool at all. Jobs must therefore be
+/// pure functions of their input (every machine builder in this module
+/// is: the seed fully determines the run).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentPlan {
+    effort: Effort,
+    threads: usize,
+}
+
+impl ExperimentPlan {
+    /// A plan running at `effort` with one worker per available core.
+    pub fn new(effort: Effort) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExperimentPlan { effort, threads }
+    }
+
+    /// A strictly serial plan (no worker pool).
+    pub fn serial(effort: Effort) -> Self {
+        ExperimentPlan { effort, threads: 1 }
+    }
+
+    /// The same plan with an explicit worker count (min 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The plan's effort level.
+    pub fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    /// The plan's worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` over every input, returning outputs in input order.
+    ///
+    /// With more than one worker, inputs are claimed from a shared
+    /// counter (work stealing by index), so long and short jobs pack
+    /// tightly; each output lands in its input's slot, which is what
+    /// makes the merge order — and therefore every downstream
+    /// floating-point reduction — independent of scheduling.
+    pub fn run<I, O>(&self, inputs: &[I], job: impl Fn(&I) -> O + Sync) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        if self.threads <= 1 || inputs.len() <= 1 {
+            return inputs.iter().map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(inputs.len());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let out = job(&inputs[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    /// Runs `metric` once per seed (`0..effort.seeds()`) in parallel and
+    /// summarizes in seed order (mean ± σ, the per-point recipe for every
+    /// figure with error bars).
+    pub fn run_seeds(&self, metric: impl Fn(u64) -> f64 + Sync) -> Summary {
+        let seeds: Vec<u64> = (0..self.effort.seeds()).collect();
+        let values = self.run(&seeds, |&s| metric(s));
+        let mut summary = Summary::new();
+        for v in values {
+            summary.push(v);
+        }
+        summary
+    }
+
+    /// Builds a machine per seed, measures one window each (in parallel),
+    /// and summarizes `metric` of the reports in seed order.
+    pub fn measure_seeds<W, B, M>(&self, build: B, metric: M) -> Summary
+    where
+        W: Workload,
+        B: Fn(u64) -> Machine<W> + Sync,
+        M: Fn(&WindowReport, &Machine<W>) -> f64 + Sync,
+    {
+        let effort = self.effort;
+        self.run_seeds(|seed| {
+            let mut m = build(seed);
+            let report = measure(&mut m, effort);
+            metric(&report, &m)
+        })
+    }
+
+    /// Builds a machine per seed and returns each seed's window report,
+    /// in seed order.
+    pub fn measure_reports<W, B>(&self, build: B) -> Vec<WindowReport>
+    where
+        W: Workload,
+        B: Fn(u64) -> Machine<W> + Sync,
+    {
+        let effort = self.effort;
+        let seeds: Vec<u64> = (0..effort.seeds()).collect();
+        self.run(&seeds, |&seed| {
+            let mut m = build(seed);
+            measure(&mut m, effort)
+        })
+    }
+}
+
 /// Builds a SPECjbb machine: `warehouses` threads bound to `pset`
 /// processors of a 16-way E6000.
 pub fn jbb_machine(pset: usize, warehouses: usize, seed: u64, effort: Effort) -> Machine<SpecJbb> {
     let cfg = SpecJbbConfig::scaled(warehouses, effort.scale_divisor());
-    let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-    let wl = SpecJbb::new(cfg, region);
-    let mut mc = MachineConfig::e6000(pset);
-    mc.seed = seed;
-    Machine::new(mc, wl)
+    jbb_machine_with(pset, cfg, seed)
 }
 
 /// Builds a SPECjbb machine from an explicit workload configuration.
@@ -116,24 +252,21 @@ pub fn measure<W: Workload>(machine: &mut Machine<W>, effort: Effort) -> WindowR
 }
 
 /// Runs `build` once per seed, measuring `metric` of the window report,
-/// and summarizes (mean ± σ) — the per-point recipe for every figure with
-/// error bars.
-pub fn measure_seeds<W, B, M>(effort: Effort, mut build: B, mut metric: M) -> Summary
+/// and summarizes (mean ± σ). Convenience wrapper over
+/// [`ExperimentPlan::measure_seeds`] with a core-per-worker plan.
+pub fn measure_seeds<W, B, M>(effort: Effort, build: B, metric: M) -> Summary
 where
     W: Workload,
-    B: FnMut(u64) -> Machine<W>,
-    M: FnMut(&WindowReport, &Machine<W>) -> f64,
+    B: Fn(u64) -> Machine<W> + Sync,
+    M: Fn(&WindowReport, &Machine<W>) -> f64 + Sync,
 {
-    run_seeds(effort.seeds(), |seed| {
-        let mut m = build(seed);
-        let report = measure(&mut m, effort);
-        metric(&report, &m)
-    })
+    ExperimentPlan::new(effort).measure_seeds(build, metric)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn effort_levels_are_ordered() {
@@ -151,5 +284,47 @@ mod tests {
         );
         assert_eq!(s.n(), 1);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn plan_preserves_input_order_at_any_thread_count() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let serial = ExperimentPlan::serial(Effort::Quick).run(&inputs, |&x| x * x);
+        for threads in [2, 4, 7] {
+            let parallel = ExperimentPlan::serial(Effort::Quick)
+                .with_threads(threads)
+                .run(&inputs, |&x| x * x);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn plan_uses_multiple_workers() {
+        let ids = Mutex::new(HashSet::new());
+        let inputs: Vec<u64> = (0..16).collect();
+        ExperimentPlan::serial(Effort::Quick)
+            .with_threads(4)
+            .run(&inputs, |_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        assert!(
+            ids.lock().unwrap().len() >= 2,
+            "expected at least two distinct worker threads"
+        );
+    }
+
+    #[test]
+    fn run_seeds_matches_serial_summary() {
+        let plan = ExperimentPlan::serial(Effort::Quick).with_threads(3);
+        // Effort::Quick has 1 seed; use run directly for a multi-value check.
+        let vals = plan.run(&[0u64, 1, 2, 3, 4], |&s| (s as f64).sqrt());
+        let mut expect = Summary::new();
+        let mut got = Summary::new();
+        for (i, v) in vals.iter().enumerate() {
+            got.push(*v);
+            expect.push((i as f64).sqrt());
+        }
+        assert_eq!(expect.mean().to_bits(), got.mean().to_bits());
     }
 }

@@ -19,8 +19,8 @@ use simstats::{fnum, Table};
 use sysos::tlb::TlbConfig;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 
-use crate::experiment::{ecperf_machine, measure, WORKLOAD_BASE};
-use crate::machine::{Machine, MachineConfig};
+use crate::engine::{Machine, MachineConfig};
+use crate::experiment::{ecperf_machine, measure, ExperimentPlan, WORKLOAD_BASE};
 use crate::Effort;
 
 /// ISM ablation result.
@@ -77,7 +77,9 @@ impl IsmAblation {
 /// 64 x 8 KB of reach is nothing next to a 1.4 GB-heap application
 /// server).
 pub fn run_ism(effort: Effort) -> IsmAblation {
-    let run = |tlb: TlbConfig| {
+    let plan = ExperimentPlan::new(effort);
+    let tlbs = [TlbConfig::base_pages(), TlbConfig::ism_pages()];
+    let tputs = plan.run(&tlbs, |&tlb| {
         let cfg = EcperfConfig::full(10);
         let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
         let mut mc = MachineConfig::e6000(1);
@@ -89,10 +91,10 @@ pub fn run_ism(effort: Effort) -> IsmAblation {
         let start = m.time();
         m.run_until(start + 4 * effort.window());
         m.window_report().throughput()
-    };
+    });
     IsmAblation {
-        base_pages: run(TlbConfig::base_pages()),
-        ism_pages: run(TlbConfig::ism_pages()),
+        base_pages: tputs[0],
+        ism_pages: tputs[1],
     }
 }
 
@@ -106,21 +108,19 @@ pub struct PathLength {
 
 /// Runs the path-length experiment over `ps`.
 pub fn run_path_length(effort: Effort, ps: &[usize]) -> PathLength {
-    let points = ps
-        .iter()
-        .map(|&p| {
-            let mut m = ecperf_machine(p, 1, effort);
-            let r = measure(&mut m, effort);
-            let wl = m.workload();
-            let tx = wl.total_tx().max(1);
-            (
-                p,
-                r.cpi.instructions as f64 / r.transactions.max(1) as f64,
-                wl.db_roundtrips() as f64 / tx as f64,
-                wl.cache().stats().hit_rate(),
-            )
-        })
-        .collect();
+    let plan = ExperimentPlan::new(effort);
+    let points = plan.run(ps, |&p| {
+        let mut m = ecperf_machine(p, 1, effort);
+        let r = measure(&mut m, effort);
+        let wl = m.workload();
+        let tx = wl.total_tx().max(1);
+        (
+            p,
+            r.cpi.instructions as f64 / r.transactions.max(1) as f64,
+            wl.db_roundtrips() as f64 / tx as f64,
+            wl.cache().stats().hit_rate(),
+        )
+    });
     PathLength { points }
 }
 
@@ -178,7 +178,10 @@ pub struct ObjCacheAblation {
 
 /// Runs the object-cache ablation.
 pub fn run_objcache(effort: Effort, p: usize) -> ObjCacheAblation {
-    let run = |ttl: u64, pset: usize| {
+    let plan = ExperimentPlan::new(effort);
+    let ttl = EcperfConfig::full(10).cache_ttl;
+    let jobs = [(ttl, p), (ttl, 1), (0, p), (0, 1)];
+    let tputs = plan.run(&jobs, |&(ttl, pset)| {
         let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
         cfg.threads = (pset * 6).clamp(12, 96);
         cfg.db_connections = (cfg.threads as u32 / 2).max(2);
@@ -188,11 +191,10 @@ pub fn run_objcache(effort: Effort, p: usize) -> ObjCacheAblation {
         mc.seed = 1;
         let mut m = Machine::new(mc, Ecperf::new(cfg, region));
         measure(&mut m, effort).throughput()
-    };
-    let ttl = EcperfConfig::full(10).cache_ttl;
+    });
     ObjCacheAblation {
-        with_cache: run(ttl, p) / run(ttl, 1).max(f64::MIN_POSITIVE),
-        without_cache: run(0, p) / run(0, 1).max(f64::MIN_POSITIVE),
+        with_cache: tputs[0] / tputs[1].max(f64::MIN_POSITIVE),
+        without_cache: tputs[2] / tputs[3].max(f64::MIN_POSITIVE),
         p,
     }
 }
@@ -201,7 +203,10 @@ impl ObjCacheAblation {
     /// Renders the comparison.
     pub fn table(&self) -> Table {
         let mut t = Table::new(
-            format!("Ablation: Object-Level Caching and ECperf Scaling (1 -> {}p)", self.p),
+            format!(
+                "Ablation: Object-Level Caching and ECperf Scaling (1 -> {}p)",
+                self.p
+            ),
             &["configuration", "speedup"],
         );
         t.row(&["object cache (TTL on)".into(), fnum(self.with_cache)]);
@@ -234,33 +239,38 @@ pub struct C2cLatency {
 
 /// Runs the latency-sensitivity sweep.
 pub fn run_c2c_latency(effort: Effort, p: usize) -> C2cLatency {
+    let plan = ExperimentPlan::new(effort);
     let factors = [1.0, 1.4, 2.5];
+    let jobs: Vec<(f64, bool)> = factors
+        .iter()
+        .flat_map(|&f| [(f, true), (f, false)])
+        .collect();
+    let tputs = plan.run(&jobs, |&(f, is_jbb)| {
+        let lat = LatencyTable::e6000().with_c2c_factor(f);
+        if is_jbb {
+            let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * p, effort.scale_divisor());
+            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+            let mut mc = MachineConfig::e6000(p);
+            mc.latency = lat;
+            mc.seed = 1;
+            let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
+            measure(&mut m, effort).throughput()
+        } else {
+            let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+            cfg.threads = (p * 6).clamp(12, 96);
+            cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+            let mut mc = MachineConfig::e6000(p);
+            mc.latency = lat;
+            mc.seed = 1;
+            let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+            measure(&mut m, effort).throughput()
+        }
+    });
     let points = factors
         .iter()
-        .map(|&f| {
-            let lat = LatencyTable::e6000().with_c2c_factor(f);
-            let jbb = {
-                let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * p, effort.scale_divisor());
-                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-                let mut mc = MachineConfig::e6000(p);
-                mc.latency = lat;
-                mc.seed = 1;
-                let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
-                measure(&mut m, effort).throughput()
-            };
-            let ec = {
-                let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
-                cfg.threads = (p * 6).clamp(12, 96);
-                cfg.db_connections = (cfg.threads as u32 / 2).max(2);
-                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-                let mut mc = MachineConfig::e6000(p);
-                mc.latency = lat;
-                mc.seed = 1;
-                let mut m = Machine::new(mc, Ecperf::new(cfg, region));
-                measure(&mut m, effort).throughput()
-            };
-            (f, jbb, ec)
-        })
+        .enumerate()
+        .map(|(i, &f)| (f, tputs[2 * i], tputs[2 * i + 1]))
         .collect();
     C2cLatency { points, p }
 }

@@ -40,12 +40,7 @@ impl Fig04 {
             &["P", "ECperf", "SPECjbb", "linear"],
         );
         for (j, e) in self.jbb.iter().zip(&self.ecperf) {
-            t.row(&[
-                j.0.to_string(),
-                fnum(e.1),
-                fnum(j.1),
-                fnum(j.0 as f64),
-            ]);
+            t.row(&[j.0.to_string(), fnum(e.1), fnum(j.1), fnum(j.0 as f64)]);
         }
         t
     }
@@ -61,7 +56,9 @@ impl Fig04 {
         for (name, series) in [("SPECjbb", &self.jbb), ("ECperf", &self.ecperf)] {
             let (p, s) = last(series);
             if p >= 12 && s > 0.75 * p as f64 {
-                v.push(format!("{name}: speedup {s:.1} at {p}p is too close to linear"));
+                v.push(format!(
+                    "{name}: speedup {s:.1} at {p}p is too close to linear"
+                ));
             }
             if p >= 12 && s < 3.0 {
                 v.push(format!("{name}: speedup {s:.1} at {p}p is implausibly low"));

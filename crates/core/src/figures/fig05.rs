@@ -105,7 +105,10 @@ impl Fig05 {
         // SPECjbb spends essentially no time in the kernel.
         let jend = last(&self.jbb);
         if jend.system > 0.08 {
-            v.push(format!("SPECjbb system time should be tiny: {:.2}", jend.system));
+            v.push(format!(
+                "SPECjbb system time should be tiny: {:.2}",
+                jend.system
+            ));
         }
         // Significant idle appears on large systems for both workloads.
         if self.jbb.points.last().map(|p| p.0).unwrap_or(0) >= 12 {

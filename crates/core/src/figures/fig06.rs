@@ -70,7 +70,14 @@ impl Fig06 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 6: CPI Breakdown vs Number of Processors",
-            &["workload", "P", "instr stall", "data stall", "other", "total"],
+            &[
+                "workload",
+                "P",
+                "instr stall",
+                "data stall",
+                "other",
+                "total",
+            ],
         );
         for (name, s) in [("ECperf", &self.ecperf), ("SPECjbb", &self.jbb)] {
             for (p, i, d, o) in &s.points {

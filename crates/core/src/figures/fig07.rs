@@ -86,7 +86,16 @@ impl Fig07 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Figure 7: Data Stall Time Breakdown vs Number of Processors (fraction of data stall)",
-            &["workload", "P", "store buf", "RAW", "L2 hit", "C2C", "mem", "stall/time"],
+            &[
+                "workload",
+                "P",
+                "store buf",
+                "RAW",
+                "L2 hit",
+                "C2C",
+                "mem",
+                "stall/time",
+            ],
         );
         for (name, s) in [("ECperf", &self.ecperf), ("SPECjbb", &self.jbb)] {
             for (p, x, frac) in &s.points {
@@ -114,7 +123,10 @@ impl Fig07 {
             };
             // Store-buffer and RAW stalls are minor slices.
             if last.store_buffer > 0.15 {
-                v.push(format!("{name}: store-buffer share too large: {:.2}", last.store_buffer));
+                v.push(format!(
+                    "{name}: store-buffer share too large: {:.2}",
+                    last.store_buffer
+                ));
             }
             if last.raw > 0.15 {
                 v.push(format!("{name}: RAW share too large: {:.2}", last.raw));

@@ -72,13 +72,7 @@ impl Fig09 {
             &["P", "ECperf", "ECperf noGC", "SPECjbb", "SPECjbb noGC"],
         );
         for (e, j) in self.ecperf.points.iter().zip(&self.jbb.points) {
-            t.row(&[
-                e.0.to_string(),
-                fnum(e.1),
-                fnum(e.2),
-                fnum(j.1),
-                fnum(j.2),
-            ]);
+            t.row(&[e.0.to_string(), fnum(e.1), fnum(e.2), fnum(j.1), fnum(j.2)]);
         }
         t
     }

@@ -12,8 +12,8 @@ use memsys::{Addr, AddrRange};
 use simstats::Table;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
+use crate::engine::{Machine, MachineConfig, TimelineBucket, TimelineObserver};
 use crate::experiment::WORKLOAD_BASE;
-use crate::machine::{Machine, MachineConfig, TimelineBucket};
 use crate::Effort;
 
 /// Bucket width for this figure. The collapse is only visible when a
@@ -48,6 +48,7 @@ pub fn run(effort: Effort, pset: usize) -> Fig10 {
     mc.seed = 1;
     mc.timeline_bucket = BUCKET_CYCLES;
     let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
+    let timeline = m.attach_observer(TimelineObserver::new(BUCKET_CYCLES));
     m.run_until(effort.warmup());
     m.begin_measurement();
     let start = m.time();
@@ -59,7 +60,7 @@ pub fn run(effort: Effort, pset: usize) -> Fig10 {
         m.run_until(next);
     }
     Fig10 {
-        buckets: m.timeline(),
+        buckets: m.observer(timeline).timeline(),
         bucket_cycles: BUCKET_CYCLES,
         gc_count: m.gc_count(),
     }
@@ -107,7 +108,11 @@ impl Fig10 {
             t.row(&[
                 i.to_string(),
                 format!("{:.3}", b.c2c as f64 / max),
-                if b.gc_active { "GC".into() } else { String::new() },
+                if b.gc_active {
+                    "GC".into()
+                } else {
+                    String::new()
+                },
             ]);
         }
         t

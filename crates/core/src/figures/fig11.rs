@@ -17,8 +17,8 @@ use simstats::Table;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::experiment::WORKLOAD_BASE;
-use crate::machine::{Machine, MachineConfig};
+use crate::engine::{Machine, MachineConfig};
+use crate::experiment::{ExperimentPlan, WORKLOAD_BASE};
 use crate::Effort;
 
 /// The Figure 11 result: `(scale factor, live MB after GC)` per workload.
@@ -55,33 +55,49 @@ fn run_until_gcs<W: workloads::model::Workload>(
     }
 }
 
-/// Runs the experiment over `axis` (default [`PAPER_SCALE_AXIS`]).
+/// Runs the experiment over `axis` (default [`PAPER_SCALE_AXIS`]) with a
+/// core-per-worker [`ExperimentPlan`].
 pub fn run(effort: Effort, axis: &[u32]) -> Fig11 {
+    run_with(&ExperimentPlan::new(effort), axis)
+}
+
+/// Runs the experiment over `axis`: each scale factor of each workload is
+/// one independent job on the plan's worker pool.
+pub fn run_with(plan: &ExperimentPlan, axis: &[u32]) -> Fig11 {
+    let effort = plan.effort();
     let divisor = effort.scale_divisor();
     let pset = 4;
+    let jobs: Vec<(bool, u32)> = [true, false]
+        .iter()
+        .flat_map(|&is_jbb| axis.iter().map(move |&s| (is_jbb, s)))
+        .collect();
+    let mut results = plan
+        .run(&jobs, |&(is_jbb, scale)| {
+            let after = if is_jbb {
+                let cfg = SpecJbbConfig::scaled(scale as usize, divisor);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(pset);
+                mc.seed = 1;
+                let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
+                run_until_gcs(&mut m, effort, 2).unwrap_or(0)
+            } else {
+                let cfg = EcperfConfig::scaled(scale, divisor);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(pset);
+                mc.seed = 1;
+                let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+                run_until_gcs(&mut m, effort, 2).unwrap_or(0)
+            };
+            (scale, (after * divisor) as f64 / (1 << 20) as f64)
+        })
+        .into_iter();
     let jbb = axis
         .iter()
-        .map(|&w| {
-            let cfg = SpecJbbConfig::scaled(w as usize, divisor);
-            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-            let mut mc = MachineConfig::e6000(pset);
-            mc.seed = 1;
-            let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
-            let after = run_until_gcs(&mut m, effort, 2).unwrap_or(0);
-            (w, (after * divisor) as f64 / (1 << 20) as f64)
-        })
+        .map(|_| results.next().expect("jbb point"))
         .collect();
     let ecperf = axis
         .iter()
-        .map(|&ir| {
-            let cfg = EcperfConfig::scaled(ir, divisor);
-            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-            let mut mc = MachineConfig::e6000(pset);
-            mc.seed = 1;
-            let mut m = Machine::new(mc, Ecperf::new(cfg, region));
-            let after = run_until_gcs(&mut m, effort, 2).unwrap_or(0);
-            (ir, (after * divisor) as f64 / (1 << 20) as f64)
-        })
+        .map(|_| results.next().expect("ecperf point"))
         .collect();
     Fig11 { jbb, ecperf }
 }
@@ -110,7 +126,11 @@ impl Fig11 {
         // smallest configurations are dominated by warehouse-independent
         // data (the shared item catalog, pools, code), so linearity is
         // checked from scale 4 upward.
-        let jbb_pre30: Vec<_> = self.jbb.iter().filter(|p| (4..=30).contains(&p.0)).collect();
+        let jbb_pre30: Vec<_> = self
+            .jbb
+            .iter()
+            .filter(|p| (4..=30).contains(&p.0))
+            .collect();
         if let (Some(first), Some(last)) = (jbb_pre30.first(), jbb_pre30.last()) {
             let scale_ratio = last.0 as f64 / first.0 as f64;
             let mem_ratio = last.1 / first.1.max(1.0);

@@ -17,8 +17,8 @@ use simstats::Table;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::experiment::WORKLOAD_BASE;
-use crate::machine::{Machine, MachineConfig};
+use crate::engine::{Machine, MachineConfig, SweepObserver};
+use crate::experiment::{ExperimentPlan, WORKLOAD_BASE};
 use crate::Effort;
 
 /// One workload's miss-rate curve: `(capacity bytes, misses per 1000
@@ -45,7 +45,7 @@ fn measure_sweeps<W: workloads::model::Workload>(
     mut machine: Machine<W>,
     effort: Effort,
 ) -> (Curve, Curve) {
-    machine.attach_sweeps(CacheSweep::paper(), CacheSweep::paper());
+    let sweeps = machine.attach_observer(SweepObserver::paper());
     // Both windows are much longer than the throughput sweeps': these are
     // full-size (unscaled) workloads, and the curves' large-cache
     // behavior is steady-state reuse, not compulsory misses — the window
@@ -62,38 +62,60 @@ fn measure_sweeps<W: workloads::model::Workload>(
             .map(|(size, p)| (size, p.misses_per_kilo_instr(instr)))
             .collect()
     };
-    (
-        curve(machine.isweep().expect("attached")),
-        curve(machine.dsweep().expect("attached")),
-    )
+    let obs = machine.observer(sweeps);
+    (curve(obs.isweep()), curve(obs.dsweep()))
 }
 
-/// Runs the uniprocessor sweeps for all four configurations.
+/// Runs the uniprocessor sweeps for all four configurations with a
+/// core-per-worker [`ExperimentPlan`].
 pub fn run_sweeps(effort: Effort) -> SweepData {
+    run_sweeps_with(&ExperimentPlan::new(effort))
+}
+
+/// Runs the uniprocessor sweeps for all four configurations — ECperf
+/// plus SPECjbb at each warehouse count — as independent jobs on the
+/// plan's worker pool.
+pub fn run_sweeps_with(plan: &ExperimentPlan) -> SweepData {
+    let effort = plan.effort();
     let mc = || {
         let mut m = MachineConfig::e6000(1);
         m.seed = 1;
         m
     };
-    let ec_cfg = EcperfConfig::full(10);
-    let ec_region = AddrRange::new(Addr(WORKLOAD_BASE), ec_cfg.required_bytes());
-    let (ecperf_i, ecperf_d) =
-        measure_sweeps(Machine::new(mc(), Ecperf::new(ec_cfg, ec_region)), effort);
-
-    let mut jbb_i: Vec<Curve> = Vec::new();
-    let mut jbb_d: Vec<Curve> = Vec::new();
-    for w in JBB_WAREHOUSES {
-        let cfg = SpecJbbConfig::full(w);
-        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-        let (i, d) = measure_sweeps(Machine::new(mc(), SpecJbb::new(cfg, region)), effort);
-        jbb_i.push(i);
-        jbb_d.push(d);
-    }
+    // Job 0 is ECperf; jobs 1.. are the SPECjbb warehouse counts.
+    let jobs: Vec<Option<usize>> = std::iter::once(None)
+        .chain(JBB_WAREHOUSES.iter().map(|&w| Some(w)))
+        .collect();
+    let mut curves = plan
+        .run(&jobs, |job| match job {
+            None => {
+                let cfg = EcperfConfig::full(10);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                measure_sweeps(Machine::new(mc(), Ecperf::new(cfg, region)), effort)
+            }
+            Some(w) => {
+                let cfg = SpecJbbConfig::full(*w);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                measure_sweeps(Machine::new(mc(), SpecJbb::new(cfg, region)), effort)
+            }
+        })
+        .into_iter();
+    let (ecperf_i, ecperf_d) = curves.next().expect("ecperf curves");
+    let mut jbb = JBB_WAREHOUSES.map(|_| curves.next().expect("jbb curves"));
+    let [j1, j2, j3] = &mut jbb;
     SweepData {
         ecperf_i,
         ecperf_d,
-        jbb_i: [jbb_i.remove(0), jbb_i.remove(0), jbb_i.remove(0)],
-        jbb_d: [jbb_d.remove(0), jbb_d.remove(0), jbb_d.remove(0)],
+        jbb_i: [
+            std::mem::take(&mut j1.0),
+            std::mem::take(&mut j2.0),
+            std::mem::take(&mut j3.0),
+        ],
+        jbb_d: [
+            std::mem::take(&mut j1.1),
+            std::mem::take(&mut j2.1),
+            std::mem::take(&mut j3.1),
+        ],
     }
 }
 

@@ -13,8 +13,8 @@ use simstats::Table;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::experiment::WORKLOAD_BASE;
-use crate::machine::{Machine, MachineConfig};
+use crate::engine::{LineStatsObserver, Machine, MachineConfig};
+use crate::experiment::{ExperimentPlan, WORKLOAD_BASE};
 use crate::Effort;
 
 /// Heap scale for the communication study. Like Figure 10, this must
@@ -66,37 +66,47 @@ pub struct Fig14 {
     pub jbb: CommFootprint,
 }
 
-/// Runs the experiment at `pset` processors (the paper uses its larger
-/// multiprocessor configurations).
+/// Runs the experiment at `pset` processors with a core-per-worker
+/// [`ExperimentPlan`].
 pub fn run(effort: Effort, pset: usize) -> Fig14 {
-    let jbb = {
-        let cfg = SpecJbbConfig::scaled(2 * pset, SCALE_DIVISOR);
-        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-        let mut mc = MachineConfig::e6000(pset);
-        mc.seed = 1;
-        let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
-        m.enable_line_stats();
-        m.run_until(effort.warmup());
-        m.begin_measurement();
-        let start = m.time();
-        m.run_until(start + effort.window());
-        CommFootprint::from_stats(m.memory().line_stats().expect("enabled"))
-    };
-    let ecperf = {
-        let mut cfg = EcperfConfig::scaled(10, SCALE_DIVISOR);
-        cfg.threads = (pset * 6).clamp(12, 96);
-        cfg.db_connections = (cfg.threads as u32 / 2).max(2);
-        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-        let mut mc = MachineConfig::e6000(pset);
-        mc.seed = 1;
-        let mut m = Machine::new(mc, Ecperf::new(cfg, region));
-        m.enable_line_stats();
-        m.run_until(effort.warmup());
-        m.begin_measurement();
-        let start = m.time();
-        m.run_until(start + effort.window());
-        CommFootprint::from_stats(m.memory().line_stats().expect("enabled"))
-    };
+    run_with(&ExperimentPlan::new(effort), pset)
+}
+
+fn footprint_of<W: workloads::model::Workload>(mut m: Machine<W>, effort: Effort) -> CommFootprint {
+    let lines = m.attach_observer(LineStatsObserver::new());
+    m.run_until(effort.warmup());
+    m.begin_measurement();
+    let start = m.time();
+    m.run_until(start + effort.window());
+    CommFootprint::from_stats(m.observer(lines).stats())
+}
+
+/// Runs the experiment at `pset` processors (the paper uses its larger
+/// multiprocessor configurations); the two workloads run as independent
+/// jobs on the plan's worker pool.
+pub fn run_with(plan: &ExperimentPlan, pset: usize) -> Fig14 {
+    let effort = plan.effort();
+    let mut results = plan
+        .run(&[true, false], |&is_jbb| {
+            if is_jbb {
+                let cfg = SpecJbbConfig::scaled(2 * pset, SCALE_DIVISOR);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(pset);
+                mc.seed = 1;
+                footprint_of(Machine::new(mc, SpecJbb::new(cfg, region)), effort)
+            } else {
+                let mut cfg = EcperfConfig::scaled(10, SCALE_DIVISOR);
+                cfg.threads = (pset * 6).clamp(12, 96);
+                cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                let mut mc = MachineConfig::e6000(pset);
+                mc.seed = 1;
+                footprint_of(Machine::new(mc, Ecperf::new(cfg, region)), effort)
+            }
+        })
+        .into_iter();
+    let jbb = results.next().expect("jbb footprint");
+    let ecperf = results.next().expect("ecperf footprint");
     Fig14 { ecperf, jbb }
 }
 

@@ -31,9 +31,7 @@ pub fn run(effort: Effort, pset: usize) -> Fig15 {
 
 /// Derives the figure from Figure 14's measurement.
 pub fn from_fig14(f: &Fig14) -> Fig15 {
-    let series = |c: &CommFootprint| {
-        Cdf::from_counts_desc(&c.counts_desc).log_spaced_series(24)
-    };
+    let series = |c: &CommFootprint| Cdf::from_counts_desc(&c.counts_desc).log_spaced_series(24);
     Fig15 {
         ecperf: series(&f.ecperf),
         jbb: series(&f.jbb),
@@ -51,11 +49,7 @@ impl Fig15 {
         );
         for (name, s) in [("ECperf", &self.ecperf), ("SPECjbb", &self.jbb)] {
             for (lines, share) in s {
-                t.row(&[
-                    name.to_string(),
-                    lines.to_string(),
-                    format!("{:.3}", share),
-                ]);
+                t.row(&[name.to_string(), lines.to_string(), format!("{:.3}", share)]);
             }
         }
         t

@@ -14,8 +14,8 @@ use simstats::Table;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::experiment::WORKLOAD_BASE;
-use crate::machine::{Machine, MachineConfig};
+use crate::engine::{Machine, MachineConfig};
+use crate::experiment::{ExperimentPlan, WORKLOAD_BASE};
 use crate::Effort;
 
 /// Processors sharing each L2 in the paper's four topologies.
@@ -56,34 +56,50 @@ fn measure_topology<W: workloads::model::Workload>(
     (data.l2_misses + data.upgrades) as f64 * 1000.0 / r.cpi.instructions.max(1) as f64
 }
 
+/// Runs the experiment with a core-per-worker [`ExperimentPlan`].
+pub fn run(effort: Effort) -> Fig16 {
+    run_with(&ExperimentPlan::new(effort))
+}
+
 /// Runs the experiment. SPECjbb uses its largest (25-warehouse)
 /// configuration; the heap/database are scaled mildly so the data set
-/// still dwarfs the caches.
-pub fn run(effort: Effort) -> Fig16 {
+/// still dwarfs the caches. Each topology × workload is one independent
+/// job on the plan's worker pool.
+pub fn run_with(plan: &ExperimentPlan) -> Fig16 {
+    let effort = plan.effort();
     let divisor = effort.scale_divisor();
+    let jobs: Vec<(bool, usize)> = [false, true]
+        .iter()
+        .flat_map(|&is_jbb| SHARING_DEGREES.iter().map(move |&k| (is_jbb, k)))
+        .collect();
+    let mut results = plan
+        .run(&jobs, |&(is_jbb, k)| {
+            if is_jbb {
+                // One warehouse per processor, scaled so the aggregate hot
+                // warehouse data sits between 1 MB and 8 MB: it fits the
+                // eight private caches but overwhelms a single shared one —
+                // the capacity pressure the paper attributes SPECjbb-25's
+                // loss to (the full 25-warehouse set is ~350 MB; preserving
+                // its ratio to the caches is what matters, see DESIGN.md).
+                let cfg = SpecJbbConfig::scaled(8, 20);
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                (k, measure_topology(SpecJbb::new(cfg, region), k, effort))
+            } else {
+                let mut cfg = EcperfConfig::scaled(10, divisor);
+                cfg.threads = 24;
+                cfg.db_connections = 12;
+                let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+                (k, measure_topology(Ecperf::new(cfg, region), k, effort))
+            }
+        })
+        .into_iter();
     let ecperf = SHARING_DEGREES
         .iter()
-        .map(|&k| {
-            let mut cfg = EcperfConfig::scaled(10, divisor);
-            cfg.threads = 24;
-            cfg.db_connections = 12;
-            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-            (k, measure_topology(Ecperf::new(cfg, region), k, effort))
-        })
+        .map(|_| results.next().expect("ecperf point"))
         .collect();
     let jbb25 = SHARING_DEGREES
         .iter()
-        .map(|&k| {
-            // One warehouse per processor, scaled so the aggregate hot
-            // warehouse data sits between 1 MB and 8 MB: it fits the
-            // eight private caches but overwhelms a single shared one —
-            // the capacity pressure the paper attributes SPECjbb-25's
-            // loss to (the full 25-warehouse set is ~350 MB; preserving
-            // its ratio to the caches is what matters, see DESIGN.md).
-            let cfg = SpecJbbConfig::scaled(8, 20);
-            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-            (k, measure_topology(SpecJbb::new(cfg, region), k, effort))
-        })
+        .map(|_| results.next().expect("jbb point"))
         .collect();
     Fig16 { ecperf, jbb25 }
 }
@@ -96,7 +112,11 @@ impl Fig16 {
             &["cpus per cache", "ECperf", "SPECjbb-25"],
         );
         for (e, j) in self.ecperf.iter().zip(&self.jbb25) {
-            t.row(&[e.0.to_string(), format!("{:.2}", e.1), format!("{:.2}", j.1)]);
+            t.row(&[
+                e.0.to_string(),
+                format!("{:.2}", e.1),
+                format!("{:.2}", j.1),
+            ]);
         }
         t
     }

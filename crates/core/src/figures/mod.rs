@@ -24,7 +24,6 @@
 //! | [`ablations`] | ISM pages, path length, object cache, c2c latency |
 
 pub mod ablations;
-pub mod scaling;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
@@ -38,6 +37,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod scaling;
 
 /// The paper's processor axis for the scaling figures (4–8).
 pub const PAPER_PROCESSORS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 15];

@@ -2,8 +2,8 @@
 //! the processor axis, all window reports retained so each figure can
 //! derive its own series without re-simulating.
 
-use crate::experiment::{ecperf_machine, jbb_machine, measure};
-use crate::machine::WindowReport;
+use crate::engine::WindowReport;
+use crate::experiment::{ecperf_machine, jbb_machine, measure, ExperimentPlan};
 use crate::Effort;
 
 /// One processor count's worth of measurements (one report per seed).
@@ -65,33 +65,54 @@ impl ScalingData {
     }
 }
 
-/// Runs both workloads over `ps`, `effort.seeds()` times each.
+/// Runs both workloads over `ps`, `effort.seeds()` times each, with a
+/// core-per-worker [`ExperimentPlan`].
+pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
+    run_scaling_with(&ExperimentPlan::new(effort), ps)
+}
+
+/// Runs both workloads over `ps`, `plan.effort().seeds()` times each.
 /// SPECjbb runs with 2P warehouses ("optimal warehouses at each system
 /// size", Section 2.1); ECperf's thread pool is tuned per processor count
 /// (Section 3.2).
-pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
-    let sweep = |is_jbb: bool| -> Vec<ScalingPoint> {
+///
+/// Every `(workload, p, seed)` run is an independent job on the plan's
+/// worker pool; reports are regrouped in axis/seed order, so the result
+/// is bit-identical to a serial sweep.
+pub fn run_scaling_with(plan: &ExperimentPlan, ps: &[usize]) -> ScalingData {
+    let effort = plan.effort();
+    let jobs: Vec<(bool, usize, u64)> = [true, false]
+        .iter()
+        .flat_map(|&is_jbb| {
+            ps.iter()
+                .flat_map(move |&p| (0..effort.seeds()).map(move |seed| (is_jbb, p, seed)))
+        })
+        .collect();
+    let mut reports = plan
+        .run(&jobs, |&(is_jbb, p, seed)| {
+            if is_jbb {
+                let mut m = jbb_machine(p, 2 * p, seed, effort);
+                measure(&mut m, effort)
+            } else {
+                let mut m = ecperf_machine(p, seed, effort);
+                measure(&mut m, effort)
+            }
+        })
+        .into_iter();
+    let mut collect_points = |_is_jbb: bool| -> Vec<ScalingPoint> {
         ps.iter()
-            .map(|&p| {
-                let reports = (0..effort.seeds())
-                    .map(|seed| {
-                        if is_jbb {
-                            let mut m = jbb_machine(p, 2 * p, seed, effort);
-                            measure(&mut m, effort)
-                        } else {
-                            let mut m = ecperf_machine(p, seed, effort);
-                            measure(&mut m, effort)
-                        }
-                    })
-                    .collect();
-                ScalingPoint { p, reports }
+            .map(|&p| ScalingPoint {
+                p,
+                reports: (0..effort.seeds())
+                    .map(|_| reports.next().expect("one report per job"))
+                    .collect(),
             })
             .collect()
     };
     ScalingData {
         effort,
-        jbb: sweep(true),
-        ecperf: sweep(false),
+        jbb: collect_points(true),
+        ecperf: collect_points(false),
     }
 }
 

@@ -4,24 +4,31 @@
 //! Java-Based Middleware"* (Karlsson, Moore, Hagersten, Wood — HPCA 2003)
 //! by running the [`workloads`] models on a simulated E6000-class machine.
 //!
-//! - [`machine`] — the discrete-event engine: processors, clocks,
-//!   scheduler, locks, stop-the-world GC, mode accounting;
-//!   
-//! - [`experiment`] — warm-up / measurement-window orchestration and the
-//!   multi-seed variability methodology;
+//! - [`engine`] — the layered simulation engine: the discrete-event
+//!   kernel, the scheduler, GC orchestration, mode accounting, and the
+//!   [`engine::SimObserver`] seam through which timelines, cache sweeps
+//!   and per-line statistics watch a run;
+//! - [`experiment`] — warm-up / measurement-window orchestration, the
+//!   multi-seed variability methodology, and the [`ExperimentPlan`]
+//!   worker pool that fans seeds × configurations over cores with
+//!   bit-identical serial/parallel results;
 //! - [`figures`] — one experiment per paper figure, each returning typed
 //!   series and rendering the same rows the figure plots.
 
 pub mod cluster;
+pub mod engine;
 pub mod experiment;
 pub mod figures;
 pub mod machine;
 pub mod score;
 
+pub use cluster::{replay_into_database, run_cluster, ClusterReport};
+pub use engine::{
+    LineStatsObserver, Machine, MachineConfig, ObserverHandle, SimObserver, SweepObserver,
+    TimelineBucket, TimelineObserver, WindowReport,
+};
 pub use experiment::{
     ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, measure, measure_seeds,
-    Effort,
+    Effort, ExperimentPlan,
 };
-pub use cluster::{replay_into_database, run_cluster, ClusterReport};
-pub use machine::{Machine, MachineConfig, TimelineBucket, WindowReport};
 pub use score::{official_run, JbbScore, RampPoint};

@@ -1,850 +1,5 @@
-//! The simulated machine: a discrete-event engine scheduling workload
-//! threads over processors.
-//!
-//! This is the harness's equivalent of the paper's instrumented E6000 +
-//! Simics setup. It owns:
-//!
-//! - the coherent [`MemorySystem`] and per-processor [`CpuTimer`]s;
-//! - per-processor virtual clocks and `mpstat`-style [`ModeAccount`]ing;
-//! - the scheduler: a `psrset` processor binding, a FIFO ready queue with
-//!   weak affinity, lock management (blocking monitors idle, kernel spin
-//!   mutexes burn time in their mode), I/O sleeps, and stop-the-world
-//!   garbage collection on a single processor while the rest sit in
-//!   GC-idle;
-//! - background OS clock ticks on *every* machine processor, which touch
-//!   shared kernel lines — the reason the paper sees cache-to-cache
-//!   transfers even with the benchmark bound to one processor (Figure 8).
+//! Compatibility facade: the machine now lives in the layered
+//! [`crate::engine`] module (kernel / dispatch / gc_driver / accounting,
+//! with observation through [`crate::engine::SimObserver`]).
 
-use std::collections::VecDeque;
-
-use memsys::{AccessKind, Addr, CacheSweep, HierarchyConfig, MemSink, MemorySystem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use simcpu::{CpiReport, CpuTimer, LatencyTable, PipelineParams};
-use sysos::modes::{ExecMode, ModeAccount, ModeBreakdown};
-use sysos::sched::ProcessorSet;
-use sysos::tlb::{Tlb, TlbConfig};
-use workloads::model::{Control, LockDesc, StepCtx, Workload};
-use workloads::WaitKind;
-
-/// Machine configuration.
-#[derive(Debug, Clone)]
-pub struct MachineConfig {
-    /// Cache hierarchy (defaults: E6000 with 16 processors).
-    pub hierarchy: HierarchyConfig,
-    /// Processors the benchmark is bound to (`psrset`).
-    pub pset: usize,
-    /// Pipeline parameters.
-    pub pipeline: PipelineParams,
-    /// Memory latencies.
-    pub latency: LatencyTable,
-    /// Optional per-processor data TLB (the ISM ablation).
-    pub tlb: Option<TlbConfig>,
-    /// RNG seed for the run.
-    pub seed: u64,
-    /// Cycles between OS clock ticks on each processor.
-    pub tick_period: u64,
-    /// Busy cycles charged per tick handler.
-    pub tick_cost: u64,
-    /// Cycle width of one timeline bucket (Figure 10's "100 ms").
-    pub timeline_bucket: u64,
-    /// Scheduler time quantum in cycles (Solaris TS-class preemption).
-    /// A running thread is preempted at the next step boundary once its
-    /// quantum expires and another thread is ready.
-    pub quantum: u64,
-    /// Kernel cycles charged per context switch.
-    pub ctx_switch_cost: u64,
-    /// Affinity rechoose interval: a ready thread is only migrated to a
-    /// foreign processor after waiting this long (Solaris
-    /// `rechoose_interval`); before that, a free foreign processor lets
-    /// it wait for its home processor.
-    pub rechoose: u64,
-}
-
-impl MachineConfig {
-    /// An E6000-like machine with the benchmark bound to `pset` of 16
-    /// processors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pset` is 0 or greater than 16.
-    pub fn e6000(pset: usize) -> Self {
-        MachineConfig {
-            hierarchy: HierarchyConfig::e6000(16).expect("16-cpu E6000 config"),
-            pset,
-            pipeline: PipelineParams::default(),
-            latency: LatencyTable::e6000(),
-            tlb: None,
-            seed: 1,
-            tick_period: 250_000,
-            tick_cost: 1_500,
-            timeline_bucket: 24_800_000, // 100 ms at 248 MHz
-            quantum: 40_000_000,         // ~160 ms (compute-bound TS threads)
-            ctx_switch_cost: 3_000,
-            rechoose: 0,
-        }
-    }
-
-    /// Same machine but with exactly `cpus` processors (no spare OS
-    /// processors) — used by the shared-cache topology experiments where
-    /// the hierarchy itself is the subject.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cpus` is zero.
-    pub fn dedicated(hierarchy: HierarchyConfig) -> Self {
-        let cpus = hierarchy.cpus;
-        MachineConfig {
-            hierarchy,
-            pset: cpus,
-            ..MachineConfig::e6000(1)
-        }
-    }
-}
-
-/// One bucket of the Figure 10 time series.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TimelineBucket {
-    /// Cache-to-cache transfers observed in the bucket.
-    pub c2c: u64,
-    /// Whether a garbage collection was active during the bucket.
-    pub gc_active: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
-    Ready,
-    Running(usize),
-    Blocked(u32),
-    Spinning(u32, usize, ExecMode),
-    Sleeping(u64),
-    Done,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ThreadState {
-    status: Status,
-    ready_at: u64,
-    last_cpu: Option<usize>,
-}
-
-#[derive(Debug, Clone)]
-struct LockState {
-    desc: LockDesc,
-    holders: u32,
-    waiters: VecDeque<usize>,
-}
-
-/// A window's worth of results.
-#[derive(Debug, Clone)]
-pub struct WindowReport {
-    /// Transactions completed in the window.
-    pub transactions: u64,
-    /// Window length in cycles.
-    pub cycles: u64,
-    /// Merged CPI report over the processor set.
-    pub cpi: CpiReport,
-    /// Mode breakdown over the processor set.
-    pub modes: ModeBreakdown,
-    /// GC time in cycles within the window.
-    pub gc_cycles: u64,
-    /// Number of collections in the window.
-    pub gc_count: u64,
-    /// Cache-to-cache / L2-miss ratio.
-    pub c2c_ratio: f64,
-}
-
-impl WindowReport {
-    /// Throughput in transactions per simulated second.
-    pub fn throughput(&self) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            self.transactions as f64 * simcpu::CLOCK_HZ as f64 / self.cycles as f64
-        }
-    }
-
-    /// Throughput with GC time excluded (Figure 9's dotted lines): the
-    /// collector is single-threaded, so its busy cycles *are* wall-clock
-    /// stop-the-world time, subtracted from the window.
-    pub fn throughput_no_gc(&self) -> f64 {
-        let busy = self.cycles.saturating_sub(self.gc_cycles);
-        if busy == 0 {
-            0.0
-        } else {
-            self.transactions as f64 * simcpu::CLOCK_HZ as f64 / busy as f64
-        }
-    }
-}
-
-/// The simulated machine driving a workload.
-pub struct Machine<W: Workload> {
-    cfg: MachineConfig,
-    workload: W,
-    mem: MemorySystem,
-    timers: Vec<CpuTimer>,
-    clocks: Vec<u64>,
-    modes: ModeAccount,
-    pset: ProcessorSet,
-    locks: Vec<LockState>,
-    threads: Vec<ThreadState>,
-    ready: VecDeque<usize>,
-    running: Vec<Option<usize>>,
-    tlbs: Option<Vec<Tlb>>,
-    isweep: Option<CacheSweep>,
-    dsweep: Option<CacheSweep>,
-    rng: StdRng,
-    next_tick: u64,
-    /// Cycle at which each processor's current thread was dispatched.
-    dispatched_at: Vec<u64>,
-    tx_count: u64,
-    gc_count: u64,
-    gc_cycles: u64,
-    gc_intervals: Vec<(u64, u64)>,
-    timeline: Vec<TimelineBucket>,
-    window_start: u64,
-    window_tx: u64,
-    window_gc_cycles: u64,
-    window_gc_count: u64,
-}
-
-/// Sink wiring one step's references into the memory system and a CPU
-/// timer, optionally through a TLB and into the Figure 10 timeline.
-struct StepSink<'a> {
-    mem: &'a mut MemorySystem,
-    timer: &'a mut CpuTimer,
-    tlb: Option<&'a mut Tlb>,
-    isweep: Option<&'a mut CacheSweep>,
-    dsweep: Option<&'a mut CacheSweep>,
-    cpu: usize,
-    timeline: &'a mut Vec<TimelineBucket>,
-    bucket_cycles: u64,
-    base_clock: u64,
-    start_cycles: u64,
-}
-
-impl StepSink<'_> {
-    #[inline]
-    fn note_c2c(&mut self) {
-        let now = self.base_clock + (self.timer.cycles() - self.start_cycles);
-        let bucket = (now / self.bucket_cycles) as usize;
-        if self.timeline.len() <= bucket {
-            self.timeline.resize(bucket + 1, TimelineBucket::default());
-        }
-        self.timeline[bucket].c2c += 1;
-    }
-}
-
-impl MemSink for StepSink<'_> {
-    fn instructions(&mut self, n: u64) {
-        self.timer.retire(n);
-    }
-
-    fn access(&mut self, kind: AccessKind, addr: Addr) {
-        if kind.is_data() {
-            if let Some(sweep) = &mut self.dsweep {
-                sweep.access(addr);
-            }
-        } else if let Some(sweep) = &mut self.isweep {
-            sweep.access(addr);
-        }
-        if kind.is_data() {
-            if let Some(tlb) = &mut self.tlb {
-                let stall = tlb.access(addr);
-                if stall > 0 {
-                    self.timer.stall_extra(stall);
-                }
-            }
-        }
-        let outcome = self.mem.access(self.cpu, kind, addr);
-        match kind {
-            AccessKind::Ifetch => self.timer.ifetch(&outcome),
-            AccessKind::Load => self.timer.load(&outcome),
-            AccessKind::Store => self.timer.store(&outcome),
-        }
-        if outcome.c2c {
-            self.note_c2c();
-        }
-    }
-}
-
-impl<W: Workload> Machine<W> {
-    /// Builds a machine around a workload.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the processor set is empty or exceeds the machine size.
-    pub fn new(cfg: MachineConfig, workload: W) -> Self {
-        let cpus = cfg.hierarchy.cpus;
-        let pset = ProcessorSet::first_n(cfg.pset, cpus);
-        let locks = workload
-            .lock_table()
-            .into_iter()
-            .map(|desc| LockState {
-                desc,
-                holders: 0,
-                waiters: VecDeque::new(),
-            })
-            .collect();
-        let threads = (0..workload.thread_count())
-            .map(|_| ThreadState {
-                status: Status::Ready,
-                ready_at: 0,
-                last_cpu: None,
-            })
-            .collect();
-        Machine {
-            mem: MemorySystem::new(cfg.hierarchy),
-            timers: (0..cpus)
-                .map(|_| CpuTimer::new(cfg.pipeline, cfg.latency))
-                .collect(),
-            clocks: vec![0; cpus],
-            modes: ModeAccount::new(cpus),
-            ready: (0..workload.thread_count()).collect(),
-            running: vec![None; cpus],
-            tlbs: cfg.tlb.map(|t| (0..cpus).map(|_| Tlb::new(t)).collect()),
-            isweep: None,
-            dsweep: None,
-            rng: StdRng::seed_from_u64(cfg.seed),
-            next_tick: cfg.tick_period,
-            dispatched_at: vec![0; cpus],
-            tx_count: 0,
-            gc_count: 0,
-            gc_cycles: 0,
-            gc_intervals: Vec::new(),
-            timeline: Vec::new(),
-            window_start: 0,
-            window_tx: 0,
-            window_gc_cycles: 0,
-            window_gc_count: 0,
-            pset,
-            locks,
-            threads,
-            workload,
-            cfg,
-        }
-    }
-
-    /// The workload (for inspection).
-    pub fn workload(&self) -> &W {
-        &self.workload
-    }
-
-    /// Mutable workload access (e.g. re-tuning between windows).
-    pub fn workload_mut(&mut self) -> &mut W {
-        &mut self.workload
-    }
-
-    /// The memory system (for inspection).
-    pub fn memory(&self) -> &MemorySystem {
-        &self.mem
-    }
-
-    /// Enables per-line communication tracking (Figures 14/15).
-    pub fn enable_line_stats(&mut self) {
-        self.mem.enable_line_stats();
-    }
-
-    /// Attaches instruction- and data-cache size sweeps (Figures 12/13):
-    /// every reference is additionally fed to a bank of caches of varying
-    /// capacity in a single pass.
-    pub fn attach_sweeps(&mut self, isweep: CacheSweep, dsweep: CacheSweep) {
-        self.isweep = Some(isweep);
-        self.dsweep = Some(dsweep);
-    }
-
-    /// The attached instruction-cache sweep, if any.
-    pub fn isweep(&self) -> Option<&CacheSweep> {
-        self.isweep.as_ref()
-    }
-
-    /// The attached data-cache sweep, if any.
-    pub fn dsweep(&self) -> Option<&CacheSweep> {
-        self.dsweep.as_ref()
-    }
-
-    /// Current virtual time: the slowest running processor's clock (all
-    /// processors' progress is bounded below by it).
-    pub fn time(&self) -> u64 {
-        self.running_cpus()
-            .map(|c| self.clocks[c])
-            .min()
-            .unwrap_or_else(|| self.clocks.iter().copied().max().unwrap_or(0))
-    }
-
-    fn running_cpus(&self) -> impl Iterator<Item = usize> + '_ {
-        self.running
-            .iter()
-            .enumerate()
-            .filter_map(|(c, t)| t.map(|_| c))
-    }
-
-    /// Processors whose thread may be stepped (running, not spinning on a
-    /// lock — spinners wait for their grant).
-    fn steppable_cpus(&self) -> impl Iterator<Item = usize> + '_ {
-        self.running.iter().enumerate().filter_map(|(c, t)| {
-            t.filter(|&th| matches!(self.threads[th].status, Status::Running(_)))
-                .map(|_| c)
-        })
-    }
-
-    /// Completed transactions since construction.
-    pub fn transactions(&self) -> u64 {
-        self.tx_count
-    }
-
-    /// Collections since construction.
-    pub fn gc_count(&self) -> u64 {
-        self.gc_count
-    }
-
-    /// GC intervals `(start, end)` in cycles (for Figure 10's shading).
-    pub fn gc_intervals(&self) -> &[(u64, u64)] {
-        &self.gc_intervals
-    }
-
-    /// The Figure 10 time series: cache-to-cache transfers per bucket,
-    /// with GC-active marks.
-    pub fn timeline(&self) -> Vec<TimelineBucket> {
-        let mut t = self.timeline.clone();
-        for &(s, e) in &self.gc_intervals {
-            let first = (s / self.cfg.timeline_bucket) as usize;
-            let last = (e / self.cfg.timeline_bucket) as usize;
-            for b in first..=last {
-                if b < t.len() {
-                    t[b].gc_active = true;
-                }
-            }
-        }
-        t
-    }
-
-    fn fill(&mut self, cpu: usize, to: u64, mode: ExecMode) {
-        if self.clocks[cpu] < to {
-            self.modes.add(cpu, mode, to - self.clocks[cpu]);
-            self.clocks[cpu] = to;
-        }
-    }
-
-    /// Assigns ready threads to free processors in the set, with cache
-    /// affinity: a free processor first looks for a waiter that last ran
-    /// on it (Solaris's dispatcher does the same; without this, every
-    /// short monitor block would migrate the thread and needlessly turn
-    /// its whole cache footprint into coherence traffic).
-    fn dispatch(&mut self) {
-        // Virtual "now" for rechoose eligibility: an idle processor's own
-        // clock is stale, so compare against global progress too.
-        let now_global = self
-            .running_cpus()
-            .map(|c| self.clocks[c])
-            .min()
-            .unwrap_or_else(|| self.clocks.iter().copied().max().unwrap_or(0));
-        let mut progressed = true;
-        while progressed && !self.ready.is_empty() {
-            progressed = false;
-            let free: Vec<usize> = self
-                .pset
-                .cpus()
-                .iter()
-                .copied()
-                .filter(|&c| self.running[c].is_none())
-                .collect();
-            for cpu in free {
-                if self.ready.is_empty() {
-                    break;
-                }
-                // Anti-starvation first: once the queue head has waited a
-                // full quantum it runs next, wherever. Then home
-                // processor; then any thread past its rechoose interval.
-                let now = self.clocks[cpu].max(now_global);
-                let head_wait = now.saturating_sub(self.threads[self.ready[0]].ready_at);
-                let pick = if head_wait > self.cfg.quantum {
-                    Some(0)
-                } else {
-                    self.ready
-                        .iter()
-                        .position(|&t| self.threads[t].last_cpu == Some(cpu))
-                        .or_else(|| {
-                            self.ready.iter().position(|&t| {
-                                let ts = &self.threads[t];
-                                ts.last_cpu.is_none() || ts.ready_at + self.cfg.rechoose <= now
-                            })
-                        })
-                };
-                let Some(pos) = pick else { continue };
-                let t = self.ready.remove(pos).expect("position valid");
-                self.place(t, cpu);
-                progressed = true;
-            }
-        }
-        // Anti-livelock: if nothing at all is running but threads are
-        // ready, force the head onto any free processor.
-        if self.running_cpus().next().is_none() {
-            if let Some(&cpu) = self
-                .pset
-                .cpus()
-                .iter()
-                .find(|&&c| self.running[c].is_none())
-            {
-                if let Some(t) = self.ready.pop_front() {
-                    self.place(t, cpu);
-                }
-            }
-        }
-    }
-
-    fn place(&mut self, t: usize, cpu: usize) {
-        let ready_at = self.threads[t].ready_at;
-        self.fill(cpu, ready_at, ExecMode::Idle);
-        self.running[cpu] = Some(t);
-        self.threads[t].status = Status::Running(cpu);
-        self.threads[t].last_cpu = Some(cpu);
-        self.dispatched_at[cpu] = self.clocks[cpu];
-    }
-
-    /// Moves due sleepers to the ready queue.
-    fn wake_sleepers(&mut self, now: u64) {
-        for t in 0..self.threads.len() {
-            if let Status::Sleeping(until) = self.threads[t].status {
-                if until <= now {
-                    self.threads[t].status = Status::Ready;
-                    self.threads[t].ready_at = until;
-                    self.ready.push_back(t);
-                }
-            }
-        }
-    }
-
-    fn earliest_wake(&self) -> Option<u64> {
-        self.threads
-            .iter()
-            .filter_map(|t| match t.status {
-                Status::Sleeping(until) => Some(until),
-                _ => None,
-            })
-            .min()
-    }
-
-    /// Background OS clock tick across every machine processor: each
-    /// handler dirties a per-processor line and the global run-queue /
-    /// time-of-day lines (shared kernel state).
-    fn os_tick(&mut self, at: u64) {
-        // Kernel lines live in a reserved low region no workload uses.
-        const KERNEL_GLOBALS: u64 = 0x0000_F000;
-        let cpus = self.clocks.len();
-        for cpu in 0..cpus {
-            let o1 = self
-                .mem
-                .access(cpu, AccessKind::Store, Addr(KERNEL_GLOBALS));
-            let o2 = self
-                .mem
-                .access(cpu, AccessKind::Load, Addr(KERNEL_GLOBALS + 64));
-            let o3 = self.mem.access(
-                cpu,
-                AccessKind::Store,
-                Addr(0x1_0000 + (cpu as u64) * 64),
-            );
-            for o in [o1, o2, o3] {
-                if o.c2c {
-                    let bucket = (at / self.cfg.timeline_bucket) as usize;
-                    if self.timeline.len() <= bucket {
-                        self.timeline.resize(bucket + 1, TimelineBucket::default());
-                    }
-                    self.timeline[bucket].c2c += 1;
-                }
-            }
-            // Tick handlers interrupt whatever the cpu is doing.
-            self.modes.add(cpu, ExecMode::System, self.cfg.tick_cost);
-            self.clocks[cpu] += self.cfg.tick_cost;
-        }
-    }
-
-    /// Runs one thread's step on `cpu`, returning whether the machine
-    /// made progress.
-    fn step_thread(&mut self, cpu: usize) {
-        let thread = self.running[cpu].expect("step_thread on busy cpu");
-        let before = self.timers[cpu].report().cycles();
-        let result = {
-            let mut sink = StepSink {
-                mem: &mut self.mem,
-                timer: &mut self.timers[cpu],
-                tlb: self.tlbs.as_mut().map(|t| &mut t[cpu]),
-                isweep: self.isweep.as_mut(),
-                dsweep: self.dsweep.as_mut(),
-                cpu,
-                timeline: &mut self.timeline,
-                bucket_cycles: self.cfg.timeline_bucket,
-                base_clock: self.clocks[cpu],
-                start_cycles: before,
-            };
-            let mut ctx = StepCtx {
-                sink: &mut sink,
-                rng: &mut self.rng,
-                now: self.clocks[cpu],
-            };
-            self.workload.step(thread, &mut ctx)
-        };
-        let delta = self.timers[cpu].report().cycles() - before;
-        self.modes.add(cpu, result.mode, delta);
-        self.clocks[cpu] += delta;
-
-        match result.control {
-            Control::Continue => self.maybe_preempt(cpu),
-            Control::TxDone => {
-                self.tx_count += 1;
-                self.window_tx += 1;
-                self.maybe_preempt(cpu);
-            }
-            Control::Acquire(lock) => self.acquire(thread, cpu, lock.0, result.mode),
-            Control::Release(lock) => self.release(cpu, lock.0),
-            Control::IoWait(cycles) => {
-                let until = self.clocks[cpu] + cycles;
-                self.threads[thread].status = Status::Sleeping(until);
-                self.running[cpu] = None;
-            }
-            Control::NeedsGc => self.run_gc(cpu),
-            Control::Done => {
-                self.threads[thread].status = Status::Done;
-                self.running[cpu] = None;
-            }
-        }
-    }
-
-    /// Preempts the running thread at a step boundary once its quantum
-    /// has expired and someone else is waiting for a processor. Without
-    /// this, a non-blocking thread would monopolize its processor forever
-    /// (and a 25-warehouse SPECjbb on one processor would degenerate to a
-    /// single warehouse).
-    fn maybe_preempt(&mut self, cpu: usize) {
-        if self.ready.is_empty() {
-            return;
-        }
-        if self.clocks[cpu] - self.dispatched_at[cpu] < self.cfg.quantum {
-            return;
-        }
-        let Some(thread) = self.running[cpu] else {
-            return;
-        };
-        self.modes.add(cpu, ExecMode::System, self.cfg.ctx_switch_cost);
-        self.clocks[cpu] += self.cfg.ctx_switch_cost;
-        self.threads[thread].status = Status::Ready;
-        self.threads[thread].ready_at = self.clocks[cpu];
-        self.ready.push_back(thread);
-        self.running[cpu] = None;
-    }
-
-    fn acquire(&mut self, thread: usize, cpu: usize, lock: u32, mode: ExecMode) {
-        let l = &mut self.locks[lock as usize];
-        if l.holders < l.desc.capacity && l.waiters.is_empty() {
-            l.holders += 1;
-            return; // granted immediately; thread keeps running
-        }
-        let queue_len = l.waiters.len();
-        l.waiters.push_back(thread);
-        let spin = match l.desc.wait {
-            WaitKind::Block => false,
-            WaitKind::Spin => true,
-            // Adaptive (HotSpot-style): spin while the queue is short —
-            // the hold is brief and parking would cost a migration —
-            // park once contention is real.
-            WaitKind::Adaptive => queue_len < 2,
-        };
-        if spin {
-            // The thread burns its processor until granted.
-            self.threads[thread].status = Status::Spinning(lock, cpu, mode);
-        } else {
-            self.threads[thread].status = Status::Blocked(lock);
-            self.running[cpu] = None;
-        }
-    }
-
-    fn release(&mut self, cpu: usize, lock: u32) {
-        let now = self.clocks[cpu];
-        let mut grants = Vec::new();
-        {
-            let l = &mut self.locks[lock as usize];
-            assert!(l.holders > 0, "release of unheld lock {lock}");
-            l.holders -= 1;
-            while l.holders < l.desc.capacity {
-                let Some(next) = l.waiters.pop_front() else {
-                    break;
-                };
-                l.holders += 1;
-                grants.push(next);
-            }
-        }
-        for next in grants {
-            match self.threads[next].status {
-                Status::Blocked(_) => {
-                    self.threads[next].status = Status::Ready;
-                    self.threads[next].ready_at = now;
-                    self.ready.push_back(next);
-                }
-                Status::Spinning(_, spin_cpu, mode) => {
-                    // Spinner kept its processor busy until the grant.
-                    if self.clocks[spin_cpu] < now {
-                        self.modes.add(spin_cpu, mode, now - self.clocks[spin_cpu]);
-                        self.clocks[spin_cpu] = now;
-                    }
-                    self.threads[next].status = Status::Running(spin_cpu);
-                }
-                other => unreachable!("waiter in unexpected state {other:?}"),
-            }
-        }
-    }
-
-    /// Stop-the-world collection on `cpu`.
-    fn run_gc(&mut self, cpu: usize) {
-        // Synchronize: every benchmark processor reaches the safepoint.
-        let pset_cpus: Vec<usize> = self.pset.cpus().to_vec();
-        let start = pset_cpus
-            .iter()
-            .map(|&c| self.clocks[c])
-            .max()
-            .unwrap_or(self.clocks[cpu]);
-        for &c in &pset_cpus {
-            self.fill(c, start, ExecMode::GcIdle);
-        }
-        let before = self.timers[cpu].report().cycles();
-        {
-            let mut sink = StepSink {
-                mem: &mut self.mem,
-                timer: &mut self.timers[cpu],
-                tlb: self.tlbs.as_mut().map(|t| &mut t[cpu]),
-                isweep: self.isweep.as_mut(),
-                dsweep: self.dsweep.as_mut(),
-                cpu,
-                timeline: &mut self.timeline,
-                bucket_cycles: self.cfg.timeline_bucket,
-                base_clock: start,
-                start_cycles: before,
-            };
-            self.workload.collect(&mut sink);
-        }
-        let duration = self.timers[cpu].report().cycles() - before;
-        self.modes.add(cpu, ExecMode::User, duration);
-        self.clocks[cpu] = start + duration;
-        let end = start + duration;
-        // Everyone else idles while the single-threaded collector runs.
-        for &c in &pset_cpus {
-            if c != cpu {
-                self.fill(c, end, ExecMode::GcIdle);
-            }
-        }
-        self.gc_count += 1;
-        self.gc_cycles += duration;
-        self.window_gc_cycles += duration;
-        self.window_gc_count += 1;
-        self.gc_intervals.push((start, end));
-    }
-
-    /// Advances the machine until virtual time `horizon`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on deadlock (all threads blocked with no sleeper to wake).
-    pub fn run_until(&mut self, horizon: u64) {
-        loop {
-            self.dispatch();
-            let now = self.time();
-            if self.running_cpus().next().is_none() {
-                // Nothing running: wake the earliest sleeper or give up.
-                match self.earliest_wake() {
-                    Some(wake) => {
-                        self.wake_sleepers(wake);
-                        self.dispatch();
-                    }
-                    None => {
-                        assert!(
-                            !self.ready.is_empty(),
-                            "deadlock: no runnable, sleeping or ready thread"
-                        );
-                        continue;
-                    }
-                }
-            }
-            let now = self.time().max(now);
-            if now >= horizon {
-                break;
-            }
-            self.wake_sleepers(now);
-            while self.next_tick <= now {
-                let at = self.next_tick;
-                self.os_tick(at);
-                self.next_tick += self.cfg.tick_period;
-            }
-            // Step the slowest steppable processor (spinners wait for
-            // their lock grant; stepping them would violate the
-            // acquire contract).
-            let Some(cpu) = self
-                .steppable_cpus()
-                .min_by_key(|&c| self.clocks[c])
-            else {
-                // Only spinners are running: their holders must be among
-                // ready/sleeping threads; force progress by dispatching
-                // or waking.
-                match self.earliest_wake() {
-                    Some(wake) => self.wake_sleepers(wake),
-                    None => assert!(
-                        !self.ready.is_empty(),
-                        "livelock: every running thread spins and nothing can release"
-                    ),
-                }
-                continue;
-            };
-            self.step_thread(cpu);
-        }
-        // Close the books: idle-fill every benchmark processor to the
-        // horizon so mode fractions cover the whole window.
-        for &c in self.pset.cpus().to_vec().iter() {
-            self.fill(c, horizon, ExecMode::Idle);
-        }
-    }
-
-    /// Ends the warm-up phase: resets all measured statistics while
-    /// keeping caches, heap and scheduler state warm.
-    pub fn begin_measurement(&mut self) {
-        self.mem.reset_stats();
-        for t in &mut self.timers {
-            t.reset();
-        }
-        self.modes.reset();
-        self.window_start = self.time();
-        self.window_tx = 0;
-        self.window_gc_cycles = 0;
-        self.window_gc_count = 0;
-        self.timeline.clear();
-        self.gc_intervals.clear();
-        if let Some(s) = &mut self.isweep {
-            s.reset_stats();
-        }
-        if let Some(s) = &mut self.dsweep {
-            s.reset_stats();
-        }
-    }
-
-    /// Produces the report for the current measurement window.
-    pub fn window_report(&self) -> WindowReport {
-        let cycles = self.time().saturating_sub(self.window_start);
-        let mut cpi = CpiReport::default();
-        for &c in self.pset.cpus() {
-            cpi = cpi.merge(&self.timers[c].report());
-        }
-        // Mode breakdown over the processor set only.
-        let mut pset_modes = ModeAccount::new(self.pset.len());
-        for (i, &c) in self.pset.cpus().iter().enumerate() {
-            for m in sysos::modes::ALL_MODES {
-                pset_modes.add(i, m, self.modes.get(c, m));
-            }
-        }
-        WindowReport {
-            transactions: self.window_tx,
-            cycles,
-            cpi,
-            modes: pset_modes.breakdown(),
-            gc_cycles: self.window_gc_cycles,
-            gc_count: self.window_gc_count,
-            c2c_ratio: self.mem.stats().c2c_ratio(),
-        }
-    }
-}
+pub use crate::engine::{Machine, MachineConfig, TimelineBucket, WindowReport};

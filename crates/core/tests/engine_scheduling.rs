@@ -45,7 +45,8 @@ impl Workload for Scripted {
         let (instr, control) = script[pc];
         ctx.sink.instructions(instr);
         // A touch so every step does some memory work.
-        ctx.sink.load(memsys::Addr(0x100_0000 + thread as u64 * 4096));
+        ctx.sink
+            .load(memsys::Addr(0x100_0000 + thread as u64 * 4096));
         StepResult::user(control)
     }
 

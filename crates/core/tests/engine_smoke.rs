@@ -36,7 +36,11 @@ fn specjbb_runs_to_horizon_and_completes_transactions() {
     m.run_until(60 * MCYCLES);
     let r = m.window_report();
     assert!(r.transactions > 100, "txs: {}", r.transactions);
-    assert!(r.cpi.cpi() > 1.3 && r.cpi.cpi() < 6.0, "cpi: {}", r.cpi.cpi());
+    assert!(
+        r.cpi.cpi() > 1.3 && r.cpi.cpi() < 6.0,
+        "cpi: {}",
+        r.cpi.cpi()
+    );
     let b = r.modes;
     assert!((b.sum() - 1.0).abs() < 0.02, "modes sum: {}", b.sum());
     assert!(b.user > 0.3, "user share: {b}");

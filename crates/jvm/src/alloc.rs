@@ -151,8 +151,14 @@ mod tests {
         let mut h = heap();
         let mut t = Tlab::new();
         let mut sink = CountingSink::new();
-        let a = t.alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink).ok().unwrap();
-        let b = t.alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink).ok().unwrap();
+        let a = t
+            .alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink)
+            .ok()
+            .unwrap();
+        let b = t
+            .alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink)
+            .ok()
+            .unwrap();
         assert_eq!(h.addr_of(b).0, h.addr_of(a).0 + 64);
     }
 
@@ -162,8 +168,14 @@ mod tests {
         let mut t1 = Tlab::new();
         let mut t2 = Tlab::new();
         let mut sink = CountingSink::new();
-        let a = t1.alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink).ok().unwrap();
-        let b = t2.alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink).ok().unwrap();
+        let a = t1
+            .alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink)
+            .ok()
+            .unwrap();
+        let b = t2
+            .alloc(&mut h, 64, Lifetime::Ephemeral, &mut sink)
+            .ok()
+            .unwrap();
         let dist = h.addr_of(b).0.abs_diff(h.addr_of(a).0);
         assert!(dist >= 4096, "different TLAB chunks, no false sharing");
     }
@@ -212,7 +224,10 @@ mod tests {
         let mut h = heap();
         let mut t = Tlab::new();
         let mut sink = CountingSink::new();
-        let id = t.alloc(&mut h, 1, Lifetime::Ephemeral, &mut sink).ok().unwrap();
+        let id = t
+            .alloc(&mut h, 1, Lifetime::Ephemeral, &mut sink)
+            .ok()
+            .unwrap();
         assert!(h.size_of(id) >= 16, "Java object header minimum");
     }
 }

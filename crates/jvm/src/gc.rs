@@ -112,8 +112,8 @@ impl Heap {
                 continue;
             }
             let size = rec.size as u64;
-            let promote = rec.age >= self.cfg.tenure_age
-                || to_top + size > self.survivors[to_space].len();
+            let promote =
+                rec.age >= self.cfg.tenure_age || to_top + size > self.survivors[to_space].len();
             let dest = if promote {
                 if self.old_used + size > self.old.len() {
                     let major = self.major_gc(sink);
@@ -276,7 +276,12 @@ mod tests {
         let mut t = Tlab::new();
         let mut sink = CountingSink::new();
         let id = t
-            .alloc(&mut h, 1024, Lifetime::Session { expires_epoch: 100 }, &mut sink)
+            .alloc(
+                &mut h,
+                1024,
+                Lifetime::Session { expires_epoch: 100 },
+                &mut sink,
+            )
             .ok()
             .unwrap();
         let before = h.addr_of(id);
@@ -292,7 +297,12 @@ mod tests {
         let mut h = heap();
         let mut t = Tlab::new();
         let mut sink = CountingSink::new();
-        t.alloc(&mut h, 1024, Lifetime::Session { expires_epoch: 5 }, &mut sink);
+        t.alloc(
+            &mut h,
+            1024,
+            Lifetime::Session { expires_epoch: 5 },
+            &mut sink,
+        );
         h.advance_epoch(10);
         let out = h.minor_gc(&mut sink);
         assert_eq!(out.copied_bytes, 0);
@@ -335,7 +345,14 @@ mod tests {
         // 400 KB of session data > 256 KB survivor space.
         let mut sink = CountingSink::new();
         for _ in 0..100 {
-            t.alloc(&mut h, 4096, Lifetime::Session { expires_epoch: u64::MAX }, &mut sink);
+            t.alloc(
+                &mut h,
+                4096,
+                Lifetime::Session {
+                    expires_epoch: u64::MAX,
+                },
+                &mut sink,
+            );
         }
         let out = h.minor_gc(&mut sink);
         assert!(out.promoted_bytes > 0, "overflow must promote early");

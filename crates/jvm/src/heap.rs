@@ -282,15 +282,13 @@ impl Heap {
 
     /// Reads the first `lines` cache lines of an object (field access:
     /// header plus a few fields, not a full scan).
-    pub fn read_object_prefix(
-        &self,
-        id: ObjectId,
-        lines: u64,
-        sink: &mut (impl MemSink + ?Sized),
-    ) {
+    pub fn read_object_prefix(&self, id: ObjectId, lines: u64, sink: &mut (impl MemSink + ?Sized)) {
         let r = self.range_of(id);
         let len = r.len().min(lines * memsys::LINE_BYTES);
-        sink.sweep(memsys::AccessKind::Load, memsys::AddrRange::new(r.start(), len));
+        sink.sweep(
+            memsys::AccessKind::Load,
+            memsys::AddrRange::new(r.start(), len),
+        );
     }
 
     /// Writes the whole object through `sink`.

@@ -1,11 +1,11 @@
-//! Property-based verification of the heap and collector.
-
-use proptest::prelude::*;
+//! Randomized verification of the heap and collector, driven by the
+//! in-tree seeded PRNG so every run exercises the same cases.
 
 use jvm::alloc::Tlab;
 use jvm::heap::{Heap, HeapConfig, HeapGeometry};
 use jvm::object::{Lifetime, ObjectId};
 use memsys::{Addr, AddrRange, CountingSink};
+use prng::SimRng;
 
 fn small_heap() -> Heap {
     Heap::new(
@@ -34,26 +34,28 @@ enum Op {
     MajorGc,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (32u16..2048).prop_map(Op::AllocEphemeral),
-        ((32u16..1024), (1u8..40)).prop_map(|(s, e)| Op::AllocSession(s, e)),
-        (32u16..1024).prop_map(Op::AllocPermanent),
-        Just(Op::FreeOldest),
-        (1u8..8).prop_map(Op::AdvanceEpoch),
-        Just(Op::MinorGc),
-        Just(Op::MajorGc),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    match rng.gen_range(0..7u32) {
+        0 => Op::AllocEphemeral(rng.gen_range(32..2048u16)),
+        1 => Op::AllocSession(rng.gen_range(32..1024u16), rng.gen_range(1..40u8)),
+        2 => Op::AllocPermanent(rng.gen_range(32..1024u16)),
+        3 => Op::FreeOldest,
+        4 => Op::AdvanceEpoch(rng.gen_range(1..8u8)),
+        5 => Op::MinorGc,
+        _ => Op::MajorGc,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Under arbitrary operation sequences: live permanent objects survive
+/// every collection, their address ranges stay disjoint, and heap
+/// occupancy never exceeds the configured spaces.
+#[test]
+fn gc_preserves_live_objects() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..120usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
 
-    /// Under arbitrary operation sequences: live permanent objects survive
-    /// every collection, their address ranges stay disjoint, and heap
-    /// occupancy never exceeds the configured spaces.
-    #[test]
-    fn gc_preserves_live_objects(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let mut heap = small_heap();
         let mut tlab = Tlab::new();
         let mut sink = CountingSink::new();
@@ -62,8 +64,10 @@ proptest! {
         for &op in &ops {
             match op {
                 Op::AllocEphemeral(size) => {
-                    if let Some(_id) =
-                        tlab.alloc(&mut heap, size as u32, Lifetime::Ephemeral, &mut sink).ok()
+                    if tlab
+                        .alloc(&mut heap, size as u32, Lifetime::Ephemeral, &mut sink)
+                        .ok()
+                        .is_some()
                     {
                         // ephemeral: forgotten immediately
                     } else {
@@ -75,13 +79,20 @@ proptest! {
                     let lt = Lifetime::Session {
                         expires_epoch: heap.epoch() + epochs as u64,
                     };
-                    if tlab.alloc(&mut heap, size as u32, lt, &mut sink).ok().is_none() {
+                    if tlab
+                        .alloc(&mut heap, size as u32, lt, &mut sink)
+                        .ok()
+                        .is_none()
+                    {
                         tlab.retire();
                         heap.minor_gc(&mut sink);
                     }
                 }
                 Op::AllocPermanent(size) => {
-                    match tlab.alloc(&mut heap, size as u32, Lifetime::Permanent, &mut sink).ok() {
+                    match tlab
+                        .alloc(&mut heap, size as u32, Lifetime::Permanent, &mut sink)
+                        .ok()
+                    {
                         Some(id) => live_permanent.push(id),
                         None => {
                             tlab.retire();
@@ -107,18 +118,18 @@ proptest! {
 
             // Invariant: all live permanents are still live.
             for &id in &live_permanent {
-                prop_assert!(heap.is_live(id), "permanent {id:?} died");
+                assert!(heap.is_live(id), "seed {seed}: permanent {id:?} died");
             }
             // Invariant: live permanent ranges are pairwise disjoint.
             for i in 0..live_permanent.len() {
                 for j in (i + 1)..live_permanent.len() {
                     let a = heap.range_of(live_permanent[i]);
                     let b = heap.range_of(live_permanent[j]);
-                    prop_assert!(!a.overlaps(&b), "{a} overlaps {b}");
+                    assert!(!a.overlaps(&b), "seed {seed}: {a} overlaps {b}");
                 }
             }
             // Invariant: occupancy bounded by the configured spaces.
-            prop_assert!(heap.occupied_bytes() <= (64 << 10) + (1 << 20));
+            assert!(heap.occupied_bytes() <= (64 << 10) + (1 << 20));
         }
 
         // Final full collection: occupancy equals the live permanents
@@ -126,24 +137,35 @@ proptest! {
         tlab.retire();
         heap.minor_gc(&mut sink);
         heap.major_gc(&mut sink);
-        let live_bytes: u64 = live_permanent.iter().map(|&id| heap.size_of(id) as u64).sum();
-        prop_assert!(
+        let live_bytes: u64 = live_permanent
+            .iter()
+            .map(|&id| heap.size_of(id) as u64)
+            .sum();
+        assert!(
             heap.occupied_bytes() >= live_bytes,
-            "occupancy {} below live permanent bytes {live_bytes}",
+            "seed {seed}: occupancy {} below live permanent bytes {live_bytes}",
             heap.occupied_bytes()
         );
     }
+}
 
-    /// Collection moves objects only between the configured spaces and
-    /// never loses allocated-byte accounting.
-    #[test]
-    fn statistics_are_monotone(sizes in prop::collection::vec(32u32..4096, 1..200)) {
+/// Collection moves objects only between the configured spaces and
+/// never loses allocated-byte accounting.
+#[test]
+fn statistics_are_monotone() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n_sizes = rng.gen_range(1..200usize);
+        let sizes: Vec<u32> = (0..n_sizes).map(|_| rng.gen_range(32..4096u32)).collect();
         let mut heap = small_heap();
         let mut tlab = Tlab::new();
         let mut sink = CountingSink::new();
         let mut allocated = 0u64;
         for &size in &sizes {
-            match tlab.alloc(&mut heap, size, Lifetime::Ephemeral, &mut sink).ok() {
+            match tlab
+                .alloc(&mut heap, size, Lifetime::Ephemeral, &mut sink)
+                .ok()
+            {
                 Some(id) => allocated += heap.size_of(id) as u64,
                 None => {
                     tlab.retire();
@@ -151,7 +173,7 @@ proptest! {
                 }
             }
         }
-        prop_assert!(heap.stats().allocated_bytes >= allocated);
-        prop_assert!(heap.stats().allocated_objects <= sizes.len() as u64);
+        assert!(heap.stats().allocated_bytes >= allocated);
+        assert!(heap.stats().allocated_objects <= sizes.len() as u64);
     }
 }

@@ -162,7 +162,8 @@ impl Cache {
 
     /// Invalidates a line if present; returns its prior state.
     pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
-        self.set_state(addr, LineState::Invalid).filter(|s| s.is_valid())
+        self.set_state(addr, LineState::Invalid)
+            .filter(|s| s.is_valid())
     }
 
     /// Number of valid lines currently resident (O(capacity); for tests and

@@ -233,7 +233,11 @@ mod tests {
     #[test]
     fn system_stats_attribute_per_cpu() {
         let mut s = SystemStats::new(2);
-        s.record(1, AccessKind::Load, &AccessOutcome::hit(HitLevel::CacheToCache));
+        s.record(
+            1,
+            AccessKind::Load,
+            &AccessOutcome::hit(HitLevel::CacheToCache),
+        );
         s.record(0, AccessKind::Store, &AccessOutcome::hit(HitLevel::Memory));
         assert_eq!(s.l2_misses_by_cpu, vec![1, 1]);
         assert_eq!(s.c2c_by_cpu, vec![0, 1]);

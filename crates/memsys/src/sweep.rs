@@ -100,7 +100,11 @@ impl CacheSweep {
 
     /// `(capacity_bytes, point)` pairs in ascending capacity order.
     pub fn results(&self) -> Vec<(u64, SweepPoint)> {
-        self.sizes.iter().copied().zip(self.points.iter().copied()).collect()
+        self.sizes
+            .iter()
+            .copied()
+            .zip(self.points.iter().copied())
+            .collect()
     }
 
     /// Resets statistics but keeps cache contents (for warm-up windows).

@@ -447,7 +447,10 @@ mod tests {
         for i in 1..=3u64 {
             m.access(0, AccessKind::Load, Addr(i * stride));
         }
-        assert!(m.bus_stats().writebacks >= 1, "dirty victim must write back");
+        assert!(
+            m.bus_stats().writebacks >= 1,
+            "dirty victim must write back"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Property-based verification of the cache and coherence models.
+//! Randomized verification of the cache and coherence models against
+//! naive reference implementations, driven by the in-tree seeded PRNG.
 
-use proptest::prelude::*;
+use prng::SimRng;
 
 use memsys::{
     AccessKind, Addr, AddrRange, Cache, CacheConfig, HierarchyConfig, LineState, MemorySystem,
@@ -45,38 +46,46 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The production cache and the naive reference model agree on every
-    /// hit/miss over arbitrary access streams.
-    #[test]
-    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..(1 << 14), 1..600)) {
+/// The production cache and the naive reference model agree on every
+/// hit/miss over arbitrary access streams.
+#[test]
+fn cache_matches_reference_lru() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..600usize);
         let cfg = CacheConfig::new(2048, 4, 64).unwrap();
         let mut cache = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
-        for &a in &addrs {
+        for _ in 0..n {
+            let a = rng.gen_range(0..(1u64 << 14));
             let hit = cache.touch(Addr(a)).is_some();
             if !hit {
                 let _ = cache.insert(Addr(a), LineState::Shared);
             }
             let ref_hit = reference.access(a);
-            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", a);
+            assert_eq!(hit, ref_hit, "seed {seed}: divergence at {a:#x}");
         }
     }
+}
 
-    /// Coherence single-writer invariant: after any access stream, no line
-    /// is dirty/exclusive in one L2 while valid in another.
-    #[test]
-    fn single_writer_invariant(
-        ops in prop::collection::vec((0usize..4, 0u8..2, 0u64..64), 1..400)
-    ) {
+/// Coherence single-writer invariant: after any access stream, no line
+/// is dirty/exclusive in one L2 while valid in another.
+#[test]
+fn single_writer_invariant() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..400usize);
         let mut sys = MemorySystem::e6000(4).unwrap();
         let mut touched = std::collections::HashSet::new();
-        for &(cpu, kind, line) in &ops {
-            let addr = Addr(line * 64);
+        for _ in 0..n {
+            let cpu = rng.gen_range(0..4usize);
+            let kind = if rng.gen_bool(0.5) {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            let addr = Addr(rng.gen_range(0..64u64) * 64);
             touched.insert(addr);
-            let kind = if kind == 0 { AccessKind::Load } else { AccessKind::Store };
             sys.access(cpu, kind, addr);
         }
         for &addr in &touched {
@@ -86,26 +95,31 @@ proptest! {
                 .filter(|s| matches!(s, LineState::Modified | LineState::Exclusive))
                 .count();
             let valid_holders = states.iter().filter(|s| s.is_valid()).count();
-            prop_assert!(
+            assert!(
                 exclusive_holders <= 1,
-                "two exclusive holders of {addr}: {states:?}"
+                "seed {seed}: two exclusive holders of {addr}: {states:?}"
             );
             if exclusive_holders == 1 {
-                prop_assert_eq!(
+                assert_eq!(
                     valid_holders, 1,
-                    "M/E must be the only copy of {}: {:?}", addr, &states
+                    "seed {seed}: M/E must be the only copy of {addr}: {states:?}"
                 );
             }
-            let owners = states.iter().filter(|s| matches!(s, LineState::Owned)).count();
-            prop_assert!(owners <= 1, "two owners of {addr}: {states:?}");
+            let owners = states
+                .iter()
+                .filter(|s| matches!(s, LineState::Owned))
+                .count();
+            assert!(owners <= 1, "seed {seed}: two owners of {addr}: {states:?}");
         }
     }
+}
 
-    /// L1 inclusion: an L1 never holds a line its L2 group lost.
-    #[test]
-    fn l1_inclusion_invariant(
-        ops in prop::collection::vec((0usize..2, 0u8..2, 0u64..512), 1..500)
-    ) {
+/// L1 inclusion: an L1 never holds a line its L2 group lost.
+#[test]
+fn l1_inclusion_invariant() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..500usize);
         // Tiny L2s to force evictions.
         let mut b = HierarchyConfig::builder(2);
         b.l2(CacheConfig::new(1024, 2, 64).unwrap());
@@ -113,10 +127,15 @@ proptest! {
         b.l1d(CacheConfig::new(256, 2, 64).unwrap());
         let mut sys = MemorySystem::new(b.build().unwrap());
         let mut touched = std::collections::HashSet::new();
-        for &(cpu, kind, line) in &ops {
-            let addr = Addr(line * 64);
+        for _ in 0..n {
+            let cpu = rng.gen_range(0..2usize);
+            let kind = if rng.gen_bool(0.5) {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            let addr = Addr(rng.gen_range(0..512u64) * 64);
             touched.insert(addr);
-            let kind = if kind == 0 { AccessKind::Load } else { AccessKind::Store };
             sys.access(cpu, kind, addr);
         }
         let cfg = *sys.config();
@@ -125,53 +144,62 @@ proptest! {
             for cpu in 0..2 {
                 if sys.l1_holds(cpu, addr) {
                     let group = cfg.l2_group(cpu);
-                    prop_assert!(
+                    assert!(
                         states[group].is_valid(),
-                        "L1 of cpu {cpu} holds {addr} but its L2 lost it"
+                        "seed {seed}: L1 of cpu {cpu} holds {addr} but its L2 lost it"
                     );
                 }
             }
         }
     }
+}
 
-    /// Miss accounting: l1 misses >= l2 misses, c2c <= l2 misses, and
-    /// accesses add up.
-    #[test]
-    fn counter_consistency(
-        ops in prop::collection::vec((0usize..4, 0u8..3, 0u64..256), 1..500)
-    ) {
+/// Miss accounting: l1 misses >= l2 misses, c2c <= l2 misses, and
+/// accesses add up.
+#[test]
+fn counter_consistency() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..500usize);
         let mut sys = MemorySystem::e6000(4).unwrap();
-        for &(cpu, kind, line) in &ops {
-            let kind = match kind {
+        for _ in 0..n {
+            let cpu = rng.gen_range(0..4usize);
+            let kind = match rng.gen_range(0..3u32) {
                 0 => AccessKind::Load,
                 1 => AccessKind::Store,
                 _ => AccessKind::Ifetch,
             };
-            sys.access(cpu, kind, Addr(line * 64));
+            sys.access(cpu, kind, Addr(rng.gen_range(0..256u64) * 64));
         }
         let st = sys.stats();
-        prop_assert_eq!(st.total_accesses(), ops.len() as u64);
+        assert_eq!(st.total_accesses(), n as u64);
         for k in [&st.ifetch, &st.load, &st.store] {
-            prop_assert!(k.l1_misses <= k.accesses);
-            prop_assert!(k.l2_misses <= k.l1_misses);
-            prop_assert!(k.c2c <= k.l2_misses);
+            assert!(k.l1_misses <= k.accesses);
+            assert!(k.l2_misses <= k.l1_misses);
+            assert!(k.c2c <= k.l2_misses);
         }
         let per_cpu: u64 = st.l2_misses_by_cpu.iter().sum();
-        prop_assert_eq!(per_cpu, st.total_l2_misses());
+        assert_eq!(per_cpu, st.total_l2_misses());
     }
+}
 
-    /// AddrRange::take splits a range into disjoint, exhaustive pieces.
-    #[test]
-    fn range_take_partitions(start in 0u64..1_000_000, lens in prop::collection::vec(1u64..4096, 1..20)) {
+/// AddrRange::take splits a range into disjoint, exhaustive pieces.
+#[test]
+fn range_take_partitions() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let start = rng.gen_range(0..1_000_000u64);
+        let n = rng.gen_range(1..20usize);
+        let lens: Vec<u64> = (0..n).map(|_| rng.gen_range(1..4096u64)).collect();
         let total: u64 = lens.iter().sum();
         let mut range = AddrRange::new(Addr(start), total);
         let mut cursor = start;
         for &len in &lens {
             let piece = range.take(len).expect("sized exactly");
-            prop_assert_eq!(piece.start(), Addr(cursor));
-            prop_assert_eq!(piece.len(), len);
+            assert_eq!(piece.start(), Addr(cursor));
+            assert_eq!(piece.len(), len);
             cursor += len;
         }
-        prop_assert!(range.is_empty());
+        assert!(range.is_empty());
     }
 }

@@ -114,7 +114,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_stddev() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample stddev with n-1: sqrt(32/7).
         assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);

@@ -1,41 +1,65 @@
-//! Property-based verification of the statistics utilities.
+//! Randomized verification of the statistics utilities, driven by the
+//! in-tree seeded PRNG so every run exercises the same cases.
 
-use proptest::prelude::*;
+use prng::SimRng;
 use simstats::{Cdf, Summary};
 
-proptest! {
-    /// Welford matches the naive two-pass mean and (n-1) stddev.
-    #[test]
-    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Welford matches the naive two-pass mean and (n-1) stddev.
+#[test]
+fn summary_matches_naive() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n_items = rng.gen_range(1..200usize);
+        let xs: Vec<f64> = (0..n_items).map(|_| (rng.gen_f64() - 0.5) * 2e6).collect();
         let s: Summary = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!(
+            (s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "seed {seed}: mean {} vs naive {mean}",
+            s.mean()
+        );
         if xs.len() > 1 {
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-            prop_assert!((s.stddev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+            assert!(
+                (s.stddev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()),
+                "seed {seed}: stddev {} vs naive {}",
+                s.stddev(),
+                var.sqrt()
+            );
         }
-        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
-        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(
+            s.max(),
+            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
     }
+}
 
-    /// CDFs are monotone, bounded by 1, and share/lines round-trip.
-    #[test]
-    fn cdf_is_monotone_and_invertible(mut counts in prop::collection::vec(1u64..1000, 1..100)) {
+/// CDFs are monotone, bounded by 1, and share/lines round-trip.
+#[test]
+fn cdf_is_monotone_and_invertible() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n_counts = rng.gen_range(1..100usize);
+        let mut counts: Vec<u64> = (0..n_counts).map(|_| rng.gen_range(1..1000u64)).collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let cdf = Cdf::from_counts_desc(&counts);
         let mut prev = 0.0;
         for i in 1..=counts.len() {
             let share = cdf.share_of_hottest(i);
-            prop_assert!(share >= prev - 1e-12);
-            prop_assert!(share <= 1.0 + 1e-12);
+            assert!(share >= prev - 1e-12, "seed {seed}: share fell at {i}");
+            assert!(share <= 1.0 + 1e-12, "seed {seed}: share above 1 at {i}");
             prev = share;
         }
-        prop_assert!((cdf.share_of_hottest(counts.len()) - 1.0).abs() < 1e-9);
+        assert!((cdf.share_of_hottest(counts.len()) - 1.0).abs() < 1e-9);
         // Round trip: the lines needed for a share actually reach it.
         for &target in &[0.25, 0.5, 0.9] {
             let lines = cdf.lines_for_share(target);
-            prop_assert!(cdf.share_of_hottest(lines) >= target - 1e-9);
+            assert!(
+                cdf.share_of_hottest(lines) >= target - 1e-9,
+                "seed {seed}: {lines} lines miss share {target}"
+            );
         }
     }
 }

@@ -135,7 +135,9 @@ impl NetStack {
         // Shared protocol state next to the lock (connection hash chains,
         // timers): a couple of shared lines.
         for i in 0..2 {
-            let a = Addr(self.locks.start().0 + ((lock + i) % self.cfg.global_locks) as u64 * LINE_BYTES);
+            let a = Addr(
+                self.locks.start().0 + ((lock + i) % self.cfg.global_locks) as u64 * LINE_BYTES,
+            );
             sink.load(a);
         }
         sink.store(lock_line);
@@ -227,7 +229,11 @@ mod tests {
         let mut sink = RecordingSink::new();
         s.emit_protocol(0, &mut sink);
         let lock_line = s.lock_addr(0).line();
-        let on_lock = sink.refs.iter().filter(|(_, a)| a.line() == lock_line).count();
+        let on_lock = sink
+            .refs
+            .iter()
+            .filter(|(_, a)| a.line() == lock_line)
+            .count();
         assert!(on_lock >= 3, "RMW + release on the lock line");
     }
 
@@ -246,7 +252,10 @@ mod tests {
             .collect();
         for (k, addr) in &b.refs {
             if *k == memsys::AccessKind::Store {
-                assert!(!a_stores.contains(&addr.line()), "buffer sharing between connections");
+                assert!(
+                    !a_stores.contains(&addr.line()),
+                    "buffer sharing between connections"
+                );
             }
         }
     }

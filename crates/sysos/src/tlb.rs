@@ -174,7 +174,11 @@ mod tests {
                 big.reset_stats();
             }
         }
-        assert!(small.miss_rate() > 0.9, "8 KB pages thrash: {}", small.miss_rate());
+        assert!(
+            small.miss_rate() > 0.9,
+            "8 KB pages thrash: {}",
+            small.miss_rate()
+        );
         assert_eq!(big.miss_rate(), 0.0, "4 MB pages cover the whole range");
     }
 

@@ -147,8 +147,7 @@ pub enum BBop {
 impl BBop {
     /// Samples the BBop mix: the customer and manufacturing domains
     /// dominate, as in ECperf's workload definition.
-    pub fn sample(rng: &mut rand::rngs::StdRng) -> BBop {
-        use rand::Rng;
+    pub fn sample(rng: &mut prng::SimRng) -> BBop {
         match rng.gen_range(0..100u32) {
             0..=39 => BBop::NewOrder,
             40..=49 => BBop::OrderStatus,
@@ -161,7 +160,6 @@ impl BBop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn tags_are_unique() {
@@ -186,10 +184,12 @@ mod tests {
 
     #[test]
     fn bbop_mix_covers_all_kinds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = prng::SimRng::seed_from_u64(5);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(format!("{:?}", BBop::sample(&mut rng))).or_insert(0u32) += 1;
+            *counts
+                .entry(format!("{:?}", BBop::sample(&mut rng)))
+                .or_insert(0u32) += 1;
         }
         assert_eq!(counts.len(), 4, "all BBops appear: {counts:?}");
         assert!(counts["NewOrder"] > 3_000);

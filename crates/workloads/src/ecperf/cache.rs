@@ -278,7 +278,10 @@ mod tests {
         let evicted = c.insert(BeanKey::new(0, 3), obj(3), 2);
         assert_eq!(evicted, Some(obj(2)));
         assert_eq!(c.lookup(BeanKey::new(0, 2), 3), CacheLookup::Miss);
-        assert!(matches!(c.lookup(BeanKey::new(0, 1), 3), CacheLookup::Hit(_)));
+        assert!(matches!(
+            c.lookup(BeanKey::new(0, 1), 3),
+            CacheLookup::Hit(_)
+        ));
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 1);
     }

@@ -152,12 +152,7 @@ impl Database {
 
     /// Serves an UPDATE by primary key: index descent, row write, and a
     /// sequential log append.
-    pub fn update(
-        &mut self,
-        ty: BeanType,
-        key: u64,
-        sink: &mut (impl MemSink + ?Sized),
-    ) -> bool {
+    pub fn update(&mut self, ty: BeanType, key: u64, sink: &mut (impl MemSink + ?Sized)) -> bool {
         self.stats.writes += 1;
         sink.instructions(self.cfg.statement_instructions);
         let Some(idx) = self.table_mut(ty) else {

@@ -33,7 +33,6 @@ use jvm::lock::{LockId, LockSet};
 use jvm::object::{Lifetime, ObjectId};
 use jvm::thread::{carve_stacks, JavaThread};
 use memsys::{AddrRange, MemSink};
-use rand::Rng;
 use sysos::net::{NetConfig, NetStack};
 
 use crate::ecperf::beans::{BBop, BeanNeed, BeanType};
@@ -422,7 +421,7 @@ impl Ecperf {
         (SchedLock(KNET_BASE + sched), proto)
     }
 
-    fn sample_key(&self, ty: BeanType, rng: &mut rand::rngs::StdRng) -> u64 {
+    fn sample_key(&self, ty: BeanType, rng: &mut prng::SimRng) -> u64 {
         self.samplers
             .iter()
             .find(|(t, _)| *t == ty)
@@ -430,7 +429,7 @@ impl Ecperf {
             .unwrap_or(0)
     }
 
-    fn build_needs(&mut self, worker: usize, rng: &mut rand::rngs::StdRng) {
+    fn build_needs(&mut self, worker: usize, rng: &mut prng::SimRng) {
         let bbop = BBop::sample(rng);
         let mut needs: Vec<BeanNeed> = Vec::with_capacity(8);
         match bbop {
@@ -446,8 +445,8 @@ impl Ecperf {
                         ty: BeanType::Item,
                         key: self.sample_key(BeanType::Item, rng),
                         write: false,
-                    cache_install: true,
-                });
+                        cache_install: true,
+                    });
                 }
                 let key = self.next_order;
                 self.next_order += 1;
@@ -471,8 +470,8 @@ impl Ecperf {
                         ty: BeanType::Order,
                         key: self.next_order.saturating_sub(1 + back),
                         write: false,
-                    cache_install: true,
-                });
+                        cache_install: true,
+                    });
                 }
             }
             BBop::ManufactureStep => {
@@ -487,8 +486,8 @@ impl Ecperf {
                         ty: BeanType::Part,
                         key: self.sample_key(BeanType::Part, rng),
                         write: false,
-                    cache_install: true,
-                });
+                        cache_install: true,
+                    });
                 }
                 needs.push(BeanNeed {
                     ty: BeanType::Item,
@@ -511,8 +510,8 @@ impl Ecperf {
                         ty: BeanType::Part,
                         key: self.sample_key(BeanType::Part, rng),
                         write: true,
-                    cache_install: true,
-                });
+                        cache_install: true,
+                    });
                 }
             }
         }
@@ -947,8 +946,7 @@ impl Workload for Ecperf {
 mod tests {
     use super::*;
     use memsys::{Addr, CountingSink};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::SimRng;
 
     fn small() -> Ecperf {
         let mut cfg = EcperfConfig::scaled(2, 64);
@@ -961,7 +959,7 @@ mod tests {
     /// A permissive driver: grants all locks, sleeps through IoWaits,
     /// collects on demand, and advances a fake clock.
     fn drive(ec: &mut Ecperf, thread: usize, steps: usize) -> (u64, u64) {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let mut sink = CountingSink::new();
         let mut now = 0u64;
         let mut txs = 0;
@@ -1029,16 +1027,13 @@ mod tests {
         assert_eq!(locks.len() as u32, KNET_BASE + KNET_LOCKS);
         assert_eq!(locks[CACHE_LOCK_BASE as usize].capacity, 1);
         assert_eq!(locks[CONN_POOL as usize].capacity, 2);
-        assert_eq!(
-            locks[KNET_BASE as usize].wait,
-            crate::model::WaitKind::Spin
-        );
+        assert_eq!(locks[KNET_BASE as usize].wait, crate::model::WaitKind::Spin);
     }
 
     #[test]
     fn acquires_and_releases_balance() {
         let mut ec = small();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let mut sink = CountingSink::new();
         let mut now = 0u64;
         let mut held: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();

@@ -11,8 +11,7 @@
 
 use jvm::codecache::{CodeCache, MethodId};
 use memsys::MemSink;
-use rand::rngs::StdRng;
-use rand::Rng;
+use prng::SimRng;
 
 /// A set of installed methods with Zipf-skewed call popularity.
 #[derive(Debug, Clone)]
@@ -89,14 +88,20 @@ impl MethodSet {
     }
 
     /// Samples a method by popularity.
-    pub fn sample(&self, rng: &mut StdRng) -> MethodId {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SimRng) -> MethodId {
+        let u = rng.gen_f64();
         let idx = self.cumulative.partition_point(|&c| c < u);
         self.methods[idx.min(self.methods.len() - 1)]
     }
 
     /// Executes `calls` sampled method bodies (a transaction's call path).
-    pub fn exec_path(&self, code: &CodeCache, calls: usize, rng: &mut StdRng, sink: &mut (impl MemSink + ?Sized)) {
+    pub fn exec_path(
+        &self,
+        code: &CodeCache,
+        calls: usize,
+        rng: &mut SimRng,
+        sink: &mut (impl MemSink + ?Sized),
+    ) {
         for _ in 0..calls {
             code.execute(self.sample(rng), sink);
         }
@@ -107,7 +112,6 @@ impl MethodSet {
 mod tests {
     use super::*;
     use memsys::{Addr, AddrRange, CountingSink};
-    use rand::SeedableRng;
 
     fn code() -> CodeCache {
         CodeCache::new(AddrRange::new(Addr(0x10_0000), 16 << 20))
@@ -125,7 +129,7 @@ mod tests {
     fn sampling_is_zipf_skewed() {
         let mut c = code();
         let set = MethodSet::install(&mut c, 100, 256, 1.1);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let hottest = set.hot(0);
         let mut hot_hits = 0;
         const N: usize = 10_000;
@@ -145,7 +149,7 @@ mod tests {
     fn exec_path_emits_code_fetches() {
         let mut c = code();
         let set = MethodSet::install(&mut c, 10, 640, 1.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut sink = CountingSink::new();
         set.exec_path(&c, 5, &mut rng, &mut sink);
         assert!(sink.ifetches >= 5, "each call fetches at least one line");
@@ -156,7 +160,7 @@ mod tests {
     fn sampling_covers_the_tail_eventually() {
         let mut c = code();
         let set = MethodSet::install(&mut c, 50, 128, 0.8);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..20_000 {
             seen.insert(set.sample(&mut rng));

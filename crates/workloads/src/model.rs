@@ -16,7 +16,7 @@
 //! the GC-idle slice and the Figure 10 snoop-copyback collapse.
 
 use memsys::MemSink;
-use rand::rngs::StdRng;
+use prng::SimRng;
 use sysos::modes::ExecMode;
 
 /// A scheduler-level lock (mutex or counting semaphore) index.
@@ -152,7 +152,7 @@ pub struct StepCtx<'a> {
     /// Where the step's instructions and references go.
     pub sink: &'a mut dyn MemSink,
     /// Deterministic per-run randomness.
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut SimRng,
     /// The stepping thread's current virtual time in cycles.
     pub now: u64,
 }
@@ -199,9 +199,6 @@ mod tests {
     #[test]
     fn step_result_modes() {
         assert_eq!(StepResult::user(Control::Continue).mode, ExecMode::User);
-        assert_eq!(
-            StepResult::system(Control::TxDone).mode,
-            ExecMode::System
-        );
+        assert_eq!(StepResult::system(Control::TxDone).mode, ExecMode::System);
     }
 }

@@ -100,7 +100,12 @@ impl ObjTree {
     }
 
     /// Looks up `key`, reading the record object on a hit.
-    pub fn lookup(&self, key: u64, heap: &Heap, sink: &mut (impl MemSink + ?Sized)) -> Option<ObjectId> {
+    pub fn lookup(
+        &self,
+        key: u64,
+        heap: &Heap,
+        sink: &mut (impl MemSink + ?Sized),
+    ) -> Option<ObjectId> {
         let leaf = self.descend(key, heap, sink);
         let Node::Leaf { keys, records } = &self.nodes[leaf] else {
             unreachable!("descend returns a leaf");
@@ -270,7 +275,12 @@ impl ObjTree {
     }
 
     /// Visits every record (table scan), reading each record object.
-    pub fn scan(&self, heap: &Heap, sink: &mut (impl MemSink + ?Sized), mut f: impl FnMut(u64, ObjectId)) {
+    pub fn scan(
+        &self,
+        heap: &Heap,
+        sink: &mut (impl MemSink + ?Sized),
+        mut f: impl FnMut(u64, ObjectId),
+    ) {
         for node in &self.nodes {
             if let Node::Leaf { keys, records } = node {
                 for (k, r) in keys.iter().zip(records) {
@@ -391,13 +401,11 @@ mod tests {
 
     #[test]
     fn ascending_and_random_order_inserts_agree() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let mut h = heap();
         let mut sink = CountingSink::new();
         let mut t = ObjTree::new(&mut h);
         let mut keys: Vec<u64> = (0..2000).collect();
-        keys.shuffle(&mut rand::rngs::StdRng::seed_from_u64(7));
+        prng::SimRng::seed_from_u64(7).shuffle(&mut keys);
         for &k in &keys {
             let rec = h.alloc_permanent_old(64);
             t.insert(k, rec, &mut h, &mut sink);

@@ -23,7 +23,6 @@ use jvm::lock::{LockId, LockSet};
 use jvm::object::Lifetime;
 use jvm::thread::{carve_stacks, JavaThread};
 use memsys::{AddrRange, CountingSink, MemSink};
-use rand::Rng;
 
 use crate::methodset::MethodSet;
 use crate::model::{Control, LockDesc, StepCtx, StepResult, Workload};
@@ -130,7 +129,7 @@ pub enum TxKind {
 }
 
 impl TxKind {
-    fn sample(rng: &mut rand::rngs::StdRng) -> TxKind {
+    fn sample(rng: &mut prng::SimRng) -> TxKind {
         match rng.gen_range(0..100u32) {
             0..=43 => TxKind::NewOrder,
             44..=87 => TxKind::Payment,
@@ -329,7 +328,7 @@ impl Workload for SpecJbb {
                 let cur = &mut self.cur[thread];
                 cur.kind = TxKind::sample(ctx.rng);
                 cur.wh = thread % self.db.warehouse_count();
-                if cur.kind == TxKind::Payment && ctx.rng.gen_range(0..100) < 3 {
+                if cur.kind == TxKind::Payment && ctx.rng.gen_range(0..100u32) < 3 {
                     // Remote payment: touch another warehouse's customer.
                     cur.wh = ctx.rng.gen_range(0..self.db.warehouse_count());
                 }
@@ -444,8 +443,7 @@ impl Workload for SpecJbb {
                         let d = wh.districts[cur.district];
                         heap.read_object(d, sink);
                         for i in 0..20u64 {
-                            let key =
-                                (cur.items[0] + i * 37) % self.cfg.db.stock_per_wh;
+                            let key = (cur.items[0] + i * 37) % self.cfg.db.stock_per_wh;
                             wh.stock.lookup(key, heap, sink);
                         }
                     }
@@ -455,7 +453,8 @@ impl Workload for SpecJbb {
                 StepResult::user(Control::Release(Self::wh_lock(cur.wh)))
             }
             Phase::GlobalAcq => {
-                self.lockset.emit_acquire(LockId(GLOBAL_LOCK), &mut *ctx.sink);
+                self.lockset
+                    .emit_acquire(LockId(GLOBAL_LOCK), &mut *ctx.sink);
                 self.phases[thread] = Phase::GlobalWork;
                 StepResult::user(Control::Acquire(crate::model::SchedLock(GLOBAL_LOCK)))
             }
@@ -541,8 +540,7 @@ impl Workload for SpecJbb {
 mod tests {
     use super::*;
     use memsys::Addr;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use prng::SimRng;
 
     fn small() -> SpecJbb {
         let cfg = SpecJbbConfig::scaled(4, 64);
@@ -553,7 +551,7 @@ mod tests {
     /// Drives one thread through phases with a permissive engine that
     /// grants every lock immediately and collects on demand.
     fn drive(jbb: &mut SpecJbb, thread: usize, steps: usize) -> (u64, u64) {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let mut sink = CountingSink::new();
         let mut txs = 0;
         let mut gcs = 0;
@@ -587,7 +585,7 @@ mod tests {
     #[test]
     fn phase_machine_cycles_through_lock_protocol() {
         let mut jbb = small();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut sink = CountingSink::new();
         let mut seen_acquire = 0;
         let mut seen_release = 0;

@@ -7,8 +7,7 @@
 //! capacities. [`ZipfSampler`] draws indices `0..n` with probability
 //! proportional to `1/(i+1)^s`.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use prng::SimRng;
 
 /// A precomputed Zipf sampler over `0..n`.
 #[derive(Debug, Clone)]
@@ -49,8 +48,8 @@ impl ZipfSampler {
     }
 
     /// Draws an index; `0` is the most popular.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen_f64();
         self.cumulative
             .partition_point(|&c| c < u)
             .min(self.cumulative.len() - 1)
@@ -60,12 +59,11 @@ impl ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_s_is_zero() {
         let z = ZipfSampler::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut counts = [0u32; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -78,7 +76,7 @@ mod tests {
     #[test]
     fn skew_concentrates_on_low_indices() {
         let z = ZipfSampler::new(1000, 1.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut head = 0;
         const N: usize = 50_000;
         for _ in 0..N {
@@ -93,7 +91,7 @@ mod tests {
     #[test]
     fn samples_stay_in_domain() {
         let z = ZipfSampler::new(7, 1.5);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 7);
         }

@@ -8,13 +8,7 @@ use middlesim::Effort;
 
 fn main() {
     let fig = fig10::run(Effort::Quick, 8);
-    let max = fig
-        .buckets
-        .iter()
-        .map(|b| b.c2c)
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let max = fig.buckets.iter().map(|b| b.c2c).max().unwrap_or(1).max(1);
     println!("cache-to-cache transfers per bucket (# = traffic, 'GC' = collector active)\n");
     for (i, b) in fig.buckets.iter().enumerate() {
         let bar = "#".repeat((b.c2c * 50 / max) as usize);

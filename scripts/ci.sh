@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The offline CI gate: everything here must pass with no network access.
+#
+# Usage: scripts/ci.sh
+#
+# The bench package (crates/bench) is deliberately excluded — it needs
+# criterion, which cannot be resolved offline; build it from its own
+# directory when online.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q (tier-1, offline)"
+cargo test -q --offline
+
+echo "==> cargo test --workspace -q (all crates, offline)"
+cargo test --workspace -q --offline
+
+echo "CI gate passed."

@@ -1,0 +1,78 @@
+//! Same-seed determinism, serially and in parallel.
+//!
+//! A seed names one reproducible universe: two runs of the same machine
+//! with the same seed must agree bit-for-bit, and the parallel
+//! experiment runner must produce exactly the serial results no matter
+//! how many worker threads claim the jobs.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use memsys::{Addr, AddrRange};
+use middlesim::{ExperimentPlan, Machine, MachineConfig, WindowReport};
+use workloads::specjbb::{SpecJbb, SpecJbbConfig};
+
+const MCYCLES: u64 = 1_000_000;
+
+fn jbb(pset: usize, seed: u64) -> Machine<SpecJbb> {
+    let cfg = SpecJbbConfig::scaled(2 * pset, 64);
+    let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
+    let mut mc = MachineConfig::e6000(pset);
+    mc.seed = seed;
+    Machine::new(mc, SpecJbb::new(cfg, region))
+}
+
+fn measure(pset: usize, seed: u64) -> WindowReport {
+    let mut m = jbb(pset, seed);
+    m.run_until(10 * MCYCLES);
+    m.begin_measurement();
+    let start = m.time();
+    m.run_until(start + 20 * MCYCLES);
+    m.window_report()
+}
+
+/// Two runs of the same seed produce the identical window report.
+#[test]
+fn same_seed_same_report() {
+    let a = measure(2, 7);
+    let b = measure(2, 7);
+    assert_eq!(a, b, "same seed must reproduce the window bit-for-bit");
+}
+
+/// The parallel runner returns exactly the serial results, in input
+/// order, at every thread count.
+#[test]
+fn parallel_runner_matches_serial_bit_for_bit() {
+    // pset x seed jobs, enough to keep several workers busy at once.
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..3u64).map(move |s| (p, s)))
+        .collect();
+    let run = |plan: &ExperimentPlan| plan.run(&jobs, |&(p, s)| measure(p, s));
+
+    let serial = run(&ExperimentPlan::serial(middlesim::Effort::Quick));
+    for threads in [2, 4] {
+        let parallel = run(&ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(threads));
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread run diverged from the serial run"
+        );
+    }
+}
+
+/// The runner demonstrably fans jobs across at least two OS threads.
+#[test]
+fn parallel_runner_uses_multiple_threads() {
+    let plan = ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(4);
+    let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+    let jobs: Vec<u32> = (0..16).collect();
+    let _ = plan.run(&jobs, |_| {
+        ids.lock().unwrap().insert(std::thread::current().id());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+    let distinct = ids.lock().unwrap().len();
+    assert!(
+        distinct >= 2,
+        "expected >= 2 worker threads, saw {distinct}"
+    );
+}
