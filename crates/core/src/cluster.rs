@@ -11,6 +11,11 @@
 //! its own address space, caches and timing — so both tiers' memory
 //! behavior can be reported side by side, with the middle tier cleanly
 //! isolated exactly as the paper isolates it.
+//!
+//! Both stages run on the [`ExperimentPlan`]: the app tier fans its
+//! seeds across the worker pool, and each seed's query log flows into a
+//! database-replay job as a plan dependency. Results merge in seed
+//! order, so the report is bit-identical whatever the worker count.
 
 use memsys::{MemorySystem, SystemSink};
 use simcpu::CpuTimer;
@@ -19,7 +24,7 @@ use workloads::ecperf::database::{Database, DatabaseConfig};
 use workloads::ecperf::{DbQuery, Ecperf, EcperfConfig};
 
 use crate::engine::{Machine, WindowReport};
-use crate::experiment::{ecperf_machine_with, measure};
+use crate::experiment::{ecperf_machine_with, measure, ExperimentPlan};
 use crate::Effort;
 
 /// Address base of the database machine's memory (its own machine: the
@@ -28,20 +33,23 @@ use crate::Effort;
 const DB_MACHINE_BASE: u64 = 0x8000_0000;
 
 /// Per-tier results of a cluster run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterReport {
-    /// The middle tier's window report (the paper's monitored machine).
+    /// The middle tier's window report for the first seed (the paper's
+    /// monitored machine).
     pub app: WindowReport,
-    /// App-server data misses per 1000 instructions.
+    /// App-server data misses per 1000 instructions (mean over seeds).
     pub app_miss_per_kilo: f64,
-    /// Queries the database served.
+    /// Queries the database served, summed over seeds.
     pub db_queries: u64,
-    /// Database-tier CPI.
+    /// Database-tier CPI (mean over seeds).
     pub db_cpi: f64,
-    /// Database-tier data misses per 1000 instructions.
+    /// Database-tier data misses per 1000 instructions (mean over seeds).
     pub db_miss_per_kilo: f64,
-    /// Database buffer-pool bytes resident.
+    /// Database buffer-pool bytes resident (first seed).
     pub db_pool_bytes: u64,
+    /// Seeds the run averaged over.
+    pub seeds: u64,
 }
 
 impl ClusterReport {
@@ -71,29 +79,72 @@ impl ClusterReport {
     }
 }
 
-/// Runs the two-tier cluster at `pset` app-server processors.
+/// One seed's app-tier measurement: the window report, the raw miss
+/// numerator/denominator, and the query log the database stage consumes.
+struct AppTierRun {
+    report: WindowReport,
+    miss_per_kilo: f64,
+    queries: Vec<DbQuery>,
+}
+
+/// Runs the two-tier cluster at `pset` app-server processors with a
+/// core-per-worker plan.
 pub fn run_cluster(pset: usize, effort: Effort) -> ClusterReport {
-    // Tier 1: the application server, with query logging on.
-    let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
-    cfg.threads = (pset * 6).clamp(12, 96);
-    cfg.db_connections = (cfg.threads as u32 / 2).max(2);
-    cfg.log_queries = true;
-    let mut app: Machine<Ecperf> = ecperf_machine_with(pset, cfg, 1);
-    let report = measure(&mut app, effort);
-    let app_miss_per_kilo = app.memory().stats().data().l2_misses as f64 * 1000.0
-        / report.cpi.instructions.max(1) as f64;
-    let queries = app.workload_mut().take_query_log();
+    run_cluster_with(&ExperimentPlan::new(effort), pset)
+}
 
-    // Tier 2: the database machine (uniprocessor, its own caches).
-    let (db_cpi, db_miss_per_kilo, db_pool_bytes) = replay_into_database(&queries, effort);
+/// Runs the two-tier cluster over `plan`'s worker pool.
+///
+/// Stage 1 fans the app-server seeds across the pool (each seed builds
+/// its own machine with query logging on); stage 2 replays each seed's
+/// query log into its own database machine. Logs flow between the
+/// stages in seed order and every reduction happens after the merge, so
+/// the report is bit-identical at any worker count.
+pub fn run_cluster_with(plan: &ExperimentPlan, pset: usize) -> ClusterReport {
+    let effort = plan.effort();
+    // Stage 1: the application-server tier, one job per seed. All seeds
+    // cost the same here; the hint matters when callers mix psets.
+    let seeds: Vec<u64> = (1..=effort.seeds()).collect();
+    let apps: Vec<AppTierRun> = plan.run_hinted(
+        &seeds,
+        |_| effort.cost_hint(pset),
+        |&seed| {
+            let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+            cfg.threads = (pset * 6).clamp(12, 96);
+            cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+            cfg.log_queries = true;
+            let mut app: Machine<Ecperf> = ecperf_machine_with(pset, cfg, seed);
+            let report = measure(&mut app, effort);
+            let miss_per_kilo = app.memory().stats().data().l2_misses as f64 * 1000.0
+                / report.cpi.instructions.max(1) as f64;
+            let queries = app.workload_mut().take_query_log();
+            AppTierRun {
+                report,
+                miss_per_kilo,
+                queries,
+            }
+        },
+    );
 
+    // Stage 2: each log replays into its own database tier. Log length
+    // is the natural cost hint — busier app seeds make longer replays.
+    let db: Vec<(f64, f64, u64)> = plan.run_hinted(
+        &apps,
+        |a| a.queries.len() as u64 + 1,
+        |a| replay_into_database(&a.queries, effort),
+    );
+
+    // Merge in seed order; all floating-point reductions happen here,
+    // after both stages, never inside a worker.
+    let n = apps.len().max(1) as f64;
     ClusterReport {
-        app: report,
-        app_miss_per_kilo,
-        db_queries: queries.len() as u64,
-        db_cpi,
-        db_miss_per_kilo,
-        db_pool_bytes,
+        app: apps[0].report.clone(),
+        app_miss_per_kilo: apps.iter().map(|a| a.miss_per_kilo).sum::<f64>() / n,
+        db_queries: apps.iter().map(|a| a.queries.len() as u64).sum(),
+        db_cpi: db.iter().map(|d| d.0).sum::<f64>() / n,
+        db_miss_per_kilo: db.iter().map(|d| d.1).sum::<f64>() / n,
+        db_pool_bytes: db[0].2,
+        seeds: apps.len() as u64,
     }
 }
 
@@ -166,6 +217,7 @@ mod tests {
         assert!(r.db_queries > 50, "queries were logged: {}", r.db_queries);
         assert!(r.db_cpi > 1.0, "db CPI plausible: {}", r.db_cpi);
         assert!(r.db_pool_bytes > 0);
+        assert_eq!(r.seeds, 1);
         assert!(r.table().to_string().contains("Two-tier"));
     }
 

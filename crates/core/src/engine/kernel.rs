@@ -137,6 +137,9 @@ struct StepSink<'a> {
 impl MemSink for StepSink<'_> {
     fn instructions(&mut self, n: u64) {
         self.timer.retire(n);
+        if !self.observers.is_empty() {
+            self.observers.instructions(self.cpu, n, self.source);
+        }
     }
 
     fn access(&mut self, kind: AccessKind, addr: Addr) {

@@ -12,7 +12,9 @@
 //! - [`accounting`] — per-processor clocks, execution-mode accounting and
 //!   window-scoped counters;
 //! - [`observer`] — the [`SimObserver`] seam through which timelines,
-//!   cache sweeps and per-line statistics watch a run.
+//!   cache sweeps and per-line statistics watch a run;
+//! - [`trace`] — reference-trace capture as an observer on that same
+//!   seam, and replay of captures as ordinary experiment-plan jobs.
 //!
 //! The kernel is the only unit that touches the memory system; the
 //! scheduler and GC driver manipulate time exclusively through
@@ -24,6 +26,7 @@ pub mod dispatch;
 pub mod gc_driver;
 pub mod kernel;
 pub mod observer;
+pub mod trace;
 
 pub use accounting::{Accounting, WindowReport};
 pub use dispatch::{SchedParams, Scheduler};
@@ -33,3 +36,4 @@ pub use observer::{
     AccessEvent, AccessSource, LineStatsObserver, ObserverHandle, ObserverSet, SimObserver,
     SweepObserver, TimelineBucket, TimelineObserver,
 };
+pub use trace::{replay_trace, replay_traces, ReplayReport, TraceObserver};

@@ -19,16 +19,10 @@ use std::marker::PhantomData;
 
 use memsys::{AccessKind, AccessOutcome, Addr, CacheSweep, LineStats};
 
-/// Where a memory reference came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AccessSource {
-    /// A workload thread's step.
-    Workload,
-    /// The single-threaded stop-the-world collector.
-    Collector,
-    /// The background OS clock tick (kernel lines, every processor).
-    KernelTick,
-}
+// The source tag lives with the trace machinery in `memsys` (captured
+// streams carry it); it is re-exported here because the observer seam is
+// where the engine applies it.
+pub use memsys::AccessSource;
 
 /// One observed memory reference.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +50,10 @@ pub trait SimObserver: Any {
     /// Called for every memory reference, after the memory system
     /// resolved it.
     fn on_access(&mut self, _event: &AccessEvent<'_>) {}
+
+    /// Called when `cpu` retires `n` instructions that make no memory
+    /// reference, tagged with the source of the executing step.
+    fn on_instructions(&mut self, _cpu: usize, _n: u64, _source: AccessSource) {}
 
     /// Called when a stop-the-world collection finishes, with its
     /// `[start, end)` interval in cycles.
@@ -138,6 +136,13 @@ impl ObserverSet {
     pub(crate) fn access(&mut self, event: &AccessEvent<'_>) {
         for o in &mut self.observers {
             o.on_access(event);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn instructions(&mut self, cpu: usize, n: u64, source: AccessSource) {
+        for o in &mut self.observers {
+            o.on_instructions(cpu, n, source);
         }
     }
 

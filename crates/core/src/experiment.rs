@@ -13,7 +13,6 @@
 //! outputs are merged in input order, and every floating-point reduction
 //! happens after the merge.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use memsys::{Addr, AddrRange};
@@ -76,6 +75,24 @@ impl Effort {
             Effort::Full => 8,
         }
     }
+
+    /// A relative cost hint for one simulation job on a `system_size`-
+    /// processor machine at this effort: simulated work scales with the
+    /// run length (warm-up + window) times the processors stepped.
+    /// Units are arbitrary — hints only need to *order* jobs (see
+    /// [`ExperimentPlan::run_hinted`]).
+    pub fn cost_hint(self, system_size: usize) -> u64 {
+        (self.warmup() + self.window()) * system_size.max(1) as u64
+    }
+}
+
+/// The claim order for cost-hinted runs: largest first, ties broken by
+/// input position. Separated out (and public) so schedulers and tests
+/// can reason about the exact order workers claim jobs in.
+pub fn largest_first_order(costs: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    order
 }
 
 /// A parallel experiment runner: fans independent simulation jobs (seeds
@@ -135,19 +152,95 @@ impl ExperimentPlan {
         I: Sync,
         O: Send,
     {
+        let order: Vec<usize> = (0..inputs.len()).collect();
+        self.run_ordered(inputs, &order, job, |_| {})
+    }
+
+    /// Like [`ExperimentPlan::run`], but jobs carry a relative cost hint
+    /// and workers claim the *largest remaining* job first. On mixed
+    /// batches (a Full-effort 16-processor point next to uniprocessor
+    /// sweeps) this keeps the big jobs from being claimed last and
+    /// dragging the tail; outputs still merge in input order, so results
+    /// are bit-identical to [`ExperimentPlan::run`]'s.
+    pub fn run_hinted<I, O>(
+        &self,
+        inputs: &[I],
+        cost: impl Fn(&I) -> u64,
+        job: impl Fn(&I) -> O + Sync,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        self.run_hinted_observed(inputs, cost, job, |_| {})
+    }
+
+    /// [`ExperimentPlan::run_hinted`] with a claim probe: `on_claim(i)`
+    /// fires under the claim lock, in claim order, as each input index
+    /// is taken by a worker. This is the observation seam the scheduling
+    /// tests use; `|_| {}` makes it free.
+    pub fn run_hinted_observed<I, O>(
+        &self,
+        inputs: &[I],
+        cost: impl Fn(&I) -> u64,
+        job: impl Fn(&I) -> O + Sync,
+        on_claim: impl Fn(usize) + Sync,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        let costs: Vec<u64> = inputs.iter().map(cost).collect();
+        self.run_ordered(inputs, &largest_first_order(&costs), job, on_claim)
+    }
+
+    /// The shared engine: claims inputs in `order`, writes outputs into
+    /// their input-order slots.
+    fn run_ordered<I, O>(
+        &self,
+        inputs: &[I],
+        order: &[usize],
+        job: impl Fn(&I) -> O + Sync,
+        on_claim: impl Fn(usize) + Sync,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        debug_assert_eq!(order.len(), inputs.len());
         if self.threads <= 1 || inputs.len() <= 1 {
-            return inputs.iter().map(job).collect();
+            let mut slots: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
+            for &i in order {
+                on_claim(i);
+                slots[i] = Some(job(&inputs[i]));
+            }
+            return slots
+                .into_iter()
+                .map(|s| s.expect("order visits every input"))
+                .collect();
         }
-        let next = AtomicUsize::new(0);
+        // The claim counter is a mutex, not an atomic, so that claiming
+        // and observing are one step: the probe sees exactly the order
+        // jobs were handed out in. Claims are vastly rarer than the
+        // simulated work inside each job, so contention is irrelevant.
+        let next = Mutex::new(0usize);
         let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(inputs.len());
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
-                    }
+                    let claimed = {
+                        let mut n = next.lock().expect("claim counter poisoned");
+                        if *n >= order.len() {
+                            None
+                        } else {
+                            let i = order[*n];
+                            *n += 1;
+                            on_claim(i);
+                            Some(i)
+                        }
+                    };
+                    let Some(i) = claimed else { break };
                     let out = job(&inputs[i]);
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
@@ -312,6 +405,52 @@ mod tests {
             ids.lock().unwrap().len() >= 2,
             "expected at least two distinct worker threads"
         );
+    }
+
+    #[test]
+    fn largest_first_order_sorts_by_cost_then_input_position() {
+        assert_eq!(largest_first_order(&[3, 50, 1, 50, 2]), vec![1, 3, 0, 4, 2]);
+        assert_eq!(largest_first_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn hinted_run_matches_plain_run_bit_for_bit() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let plain = ExperimentPlan::serial(Effort::Quick).run(&inputs, |&x| (x as f64).sqrt());
+        for threads in [1, 3, 5] {
+            let hinted = ExperimentPlan::serial(Effort::Quick)
+                .with_threads(threads)
+                .run_hinted(&inputs, |&x| x, |&x| (x as f64).sqrt());
+            let same = plain
+                .iter()
+                .zip(&hinted)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "hinted diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn hinted_claims_go_largest_first_at_any_worker_count() {
+        let jobs: Vec<(usize, u64)> = [3u64, 50, 1, 40, 2].iter().copied().enumerate().collect();
+        for threads in [1, 2, 4] {
+            let claims = Mutex::new(Vec::new());
+            let out = ExperimentPlan::serial(Effort::Quick)
+                .with_threads(threads)
+                .run_hinted_observed(
+                    &jobs,
+                    |&(_, c)| c,
+                    |&(i, _)| i,
+                    |i| claims.lock().unwrap().push(i),
+                );
+            // Outputs merge in input order regardless of claim order.
+            assert_eq!(out, vec![0, 1, 2, 3, 4], "threads={threads}");
+            // Claims went out largest-cost first.
+            assert_eq!(
+                claims.into_inner().unwrap(),
+                vec![1, 3, 0, 4, 2],
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
 ///
 /// Every `(workload, p, seed)` run is an independent job on the plan's
 /// worker pool; reports are regrouped in axis/seed order, so the result
-/// is bit-identical to a serial sweep.
+/// is bit-identical to a serial sweep. The sweep mixes system sizes, so
+/// jobs carry [`Effort::cost_hint`]s and the pool claims the 16-way
+/// points before the uniprocessor ones.
 pub fn run_scaling_with(plan: &ExperimentPlan, ps: &[usize]) -> ScalingData {
     let effort = plan.effort();
     let jobs: Vec<(bool, usize, u64)> = [true, false]
@@ -89,15 +91,19 @@ pub fn run_scaling_with(plan: &ExperimentPlan, ps: &[usize]) -> ScalingData {
         })
         .collect();
     let mut reports = plan
-        .run(&jobs, |&(is_jbb, p, seed)| {
-            if is_jbb {
-                let mut m = jbb_machine(p, 2 * p, seed, effort);
-                measure(&mut m, effort)
-            } else {
-                let mut m = ecperf_machine(p, seed, effort);
-                measure(&mut m, effort)
-            }
-        })
+        .run_hinted(
+            &jobs,
+            |&(_, p, _)| effort.cost_hint(p),
+            |&(is_jbb, p, seed)| {
+                if is_jbb {
+                    let mut m = jbb_machine(p, 2 * p, seed, effort);
+                    measure(&mut m, effort)
+                } else {
+                    let mut m = ecperf_machine(p, seed, effort);
+                    measure(&mut m, effort)
+                }
+            },
+        )
         .into_iter();
     let mut collect_points = |_is_jbb: bool| -> Vec<ScalingPoint> {
         ps.iter()

@@ -19,16 +19,21 @@ pub mod cluster;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
+#[deprecated(
+    since = "0.2.0",
+    note = "the machine lives in `engine` now; import from there or the crate root"
+)]
 pub mod machine;
 pub mod score;
 
-pub use cluster::{replay_into_database, run_cluster, ClusterReport};
+pub use cluster::{replay_into_database, run_cluster, run_cluster_with, ClusterReport};
 pub use engine::{
-    LineStatsObserver, Machine, MachineConfig, ObserverHandle, SimObserver, SweepObserver,
-    TimelineBucket, TimelineObserver, WindowReport,
+    replay_trace, replay_traces, AccessSource, LineStatsObserver, Machine, MachineConfig,
+    ObserverHandle, ReplayReport, SimObserver, SweepObserver, TimelineBucket, TimelineObserver,
+    TraceObserver, WindowReport,
 };
 pub use experiment::{
-    ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, measure, measure_seeds,
-    Effort, ExperimentPlan,
+    ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, largest_first_order,
+    measure, measure_seeds, Effort, ExperimentPlan,
 };
-pub use score::{official_run, JbbScore, RampPoint};
+pub use score::{official_run, official_run_with, JbbScore, RampPoint, RAMP_TOLERANCE};

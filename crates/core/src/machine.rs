@@ -2,4 +2,26 @@
 //! [`crate::engine`] module (kernel / dispatch / gc_driver / accounting,
 //! with observation through [`crate::engine::SimObserver`]).
 
-pub use crate::engine::{Machine, MachineConfig, TimelineBucket, WindowReport};
+#[deprecated(
+    since = "0.2.0",
+    note = "import from `crate::engine` (or the crate root) instead; this facade will be removed"
+)]
+pub use crate::engine::Machine;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "import from `crate::engine` (or the crate root) instead; this facade will be removed"
+)]
+pub use crate::engine::MachineConfig;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "import from `crate::engine` (or the crate root) instead; this facade will be removed"
+)]
+pub use crate::engine::TimelineBucket;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "import from `crate::engine` (or the crate root) instead; this facade will be removed"
+)]
+pub use crate::engine::WindowReport;

@@ -47,8 +47,10 @@ pub use cache::{Cache, Evicted};
 pub use config::{CacheConfig, ConfigError, HierarchyConfig};
 pub use linestats::LineStats;
 pub use protocol::{BusOp, LineState};
-pub use sink::{CountingSink, MemSink, RecordingSink};
+pub use sink::{CountingSink, MemSink, RecordingSink, TeeSink};
 pub use stats::{AccessKind, AccessOutcome, HitLevel, KindCounters, SystemStats};
 pub use sweep::{CacheSweep, SweepPoint, PAPER_SIZES};
 pub use system::MemorySystem;
-pub use trace::{SystemSink, Trace, TraceEvent, TraceSink};
+pub use trace::{
+    AccessSource, SystemSink, SystemTrace, SystemTraceEvent, Trace, TraceEvent, TraceSink,
+};

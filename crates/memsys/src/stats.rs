@@ -116,7 +116,7 @@ impl KindCounters {
 }
 
 /// System-wide statistics, aggregated and per processor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SystemStats {
     /// Instruction-fetch counters.
     pub ifetch: KindCounters,

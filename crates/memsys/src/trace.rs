@@ -4,15 +4,39 @@
 //! per-processor memory reference streams that were fed to the Sumo
 //! memory-system simulator, optionally *filtered* (their multiprocessor
 //! ECperf runs kept only the application-server processors' references —
-//! Section 3.3). This module reproduces that workflow: a [`TraceSink`]
-//! records any [`MemSink`] stream as a compact trace, traces can be
-//! filtered and concatenated, and [`Trace::replay`] plays one into a
-//! cache model or a fresh [`MemorySystem`].
+//! Section 3.3). This module reproduces that workflow at two levels:
+//!
+//! - [`Trace`] / [`TraceSink`] — a single logical processor's stream,
+//!   recorded from any [`MemSink`] and replayed into any other;
+//! - [`SystemTrace`] — a whole machine's interleaved stream, every
+//!   reference tagged with its processor and [`AccessSource`], with
+//!   window boundaries recorded in-stream so a replay from a cold system
+//!   reproduces the live run's measurement-window statistics exactly.
+//!
+//! Filtering is a predicate over the tags — keeping one tier's
+//! processors is exactly the paper's filter step — and replay order is
+//! capture order, which is what makes the coherence outcomes (and
+//! therefore miss/upgrade/cache-to-cache counts) bit-identical.
 
 use crate::addr::Addr;
 use crate::sink::MemSink;
 use crate::stats::AccessKind;
 use crate::system::MemorySystem;
+
+/// Where a memory reference came from.
+///
+/// The simulation engine tags every reference it issues; traces carry
+/// the tag so filtering by source (the paper keeps only the benchmark
+/// tier's traffic for its cache sweeps) is a replay-time predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessSource {
+    /// A workload thread's step.
+    Workload,
+    /// The single-threaded stop-the-world collector.
+    Collector,
+    /// The background OS clock tick (kernel lines, every processor).
+    KernelTick,
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +135,234 @@ impl FromIterator<TraceEvent> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
         Trace {
             events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// One event of a whole-machine capture. Field widths are chosen so the
+/// enum packs into 16 bytes — multiprocessor windows run to tens of
+/// millions of events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemTraceEvent {
+    /// `n` instructions retired on `cpu` with no memory reference.
+    Instructions {
+        /// Issuing processor.
+        cpu: u16,
+        /// Instructions retired.
+        n: u64,
+    },
+    /// A memory reference, in global (bus) order.
+    Ref {
+        /// Issuing processor.
+        cpu: u16,
+        /// Which part of the simulated system issued it.
+        source: AccessSource,
+        /// Reference kind.
+        kind: AccessKind,
+        /// Byte address.
+        addr: Addr,
+    },
+    /// The live run's `begin_measurement`: statistics were reset here.
+    /// Replays reset theirs at the same point, so a replay from a cold
+    /// system reproduces the live measurement window exactly (the warm-up
+    /// prefix re-warms the replay caches the same way it warmed the
+    /// originals).
+    WindowReset,
+}
+
+/// A whole machine's interleaved, tagged reference stream.
+///
+/// Events are recorded in the exact order the memory system consumed
+/// them, which on a snooping bus *is* the coherence order: replaying
+/// into a fresh [`MemorySystem`] of the same configuration reproduces
+/// every hit level, upgrade and cache-to-cache transfer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SystemTrace {
+    events: Vec<SystemTraceEvent>,
+    cpus: usize,
+}
+
+impl SystemTrace {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        SystemTrace::default()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether anything was captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[SystemTraceEvent] {
+        &self.events
+    }
+
+    /// One more than the highest processor index seen.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// Records an instruction batch, coalescing with an immediately
+    /// preceding batch from the same processor.
+    pub fn record_instructions(&mut self, cpu: usize, n: u64) {
+        self.cpus = self.cpus.max(cpu + 1);
+        if let Some(SystemTraceEvent::Instructions { cpu: last, n: m }) = self.events.last_mut() {
+            if *last as usize == cpu {
+                *m += n;
+                return;
+            }
+        }
+        self.events
+            .push(SystemTraceEvent::Instructions { cpu: cpu as u16, n });
+    }
+
+    /// Records one memory reference.
+    pub fn record_ref(&mut self, cpu: usize, source: AccessSource, kind: AccessKind, addr: Addr) {
+        self.cpus = self.cpus.max(cpu + 1);
+        self.events.push(SystemTraceEvent::Ref {
+            cpu: cpu as u16,
+            source,
+            kind,
+            addr,
+        });
+    }
+
+    /// Records a measurement-window boundary.
+    pub fn record_window_reset(&mut self) {
+        self.events.push(SystemTraceEvent::WindowReset);
+    }
+
+    /// Total references recorded.
+    pub fn refs(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SystemTraceEvent::Ref { .. }))
+            .count() as u64
+    }
+
+    /// Total instructions recorded.
+    pub fn instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SystemTraceEvent::Instructions { n, .. } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Instructions after the last window boundary (the whole trace when
+    /// no boundary was recorded) — the denominator for per-1000-
+    /// instruction replay metrics.
+    pub fn window_instructions(&self) -> u64 {
+        let start = self
+            .events
+            .iter()
+            .rposition(|e| matches!(e, SystemTraceEvent::WindowReset))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.events[start..]
+            .iter()
+            .map(|e| match e {
+                SystemTraceEvent::Instructions { n, .. } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Keeps only references matching `keep`; instruction batches and
+    /// window boundaries are preserved. This is the paper's Section 3.3
+    /// step — filtering a multi-machine trace down to the tier under
+    /// study is a predicate over `(cpu, source)`.
+    pub fn filtered(&self, mut keep: impl FnMut(usize, AccessSource) -> bool) -> SystemTrace {
+        let mut out = SystemTrace::new();
+        out.cpus = self.cpus;
+        out.events = self
+            .events
+            .iter()
+            .filter(|e| match e {
+                SystemTraceEvent::Ref { cpu, source, .. } => keep(*cpu as usize, *source),
+                _ => true,
+            })
+            .copied()
+            .collect();
+        out
+    }
+
+    /// Drops *everything* (references and instructions) from processors
+    /// `keep` rejects — projecting the capture onto one tier's processor
+    /// set as a self-contained trace.
+    pub fn filtered_cpus(&self, mut keep: impl FnMut(usize) -> bool) -> SystemTrace {
+        let mut out = SystemTrace::new();
+        for e in &self.events {
+            match *e {
+                SystemTraceEvent::Instructions { cpu, n } => {
+                    if keep(cpu as usize) {
+                        out.record_instructions(cpu as usize, n);
+                    }
+                }
+                SystemTraceEvent::Ref {
+                    cpu,
+                    source,
+                    kind,
+                    addr,
+                } => {
+                    if keep(cpu as usize) {
+                        out.record_ref(cpu as usize, source, kind, addr);
+                    }
+                }
+                SystemTraceEvent::WindowReset => out.record_window_reset(),
+            }
+        }
+        out.cpus = self.cpus;
+        out
+    }
+
+    /// Projects one processor's stream as a plain [`Trace`] (for cache
+    /// sweeps and other single-stream consumers). Window boundaries are
+    /// dropped; the stream is the whole capture.
+    pub fn cpu_stream(&self, cpu: usize) -> Trace {
+        let mut sink = TraceSink::new();
+        for e in &self.events {
+            match *e {
+                SystemTraceEvent::Instructions { cpu: c, n } if c as usize == cpu => {
+                    sink.instructions(n);
+                }
+                SystemTraceEvent::Ref {
+                    cpu: c, kind, addr, ..
+                } if c as usize == cpu => {
+                    sink.access(kind, addr);
+                }
+                _ => {}
+            }
+        }
+        sink.into_trace()
+    }
+
+    /// Replays the capture into a memory system in recorded order,
+    /// resetting the system's statistics at each recorded window
+    /// boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references a processor the system lacks.
+    pub fn replay_into(&self, sys: &mut MemorySystem) {
+        for e in &self.events {
+            match *e {
+                SystemTraceEvent::Instructions { .. } => {}
+                SystemTraceEvent::Ref {
+                    cpu, kind, addr, ..
+                } => {
+                    sys.access(cpu as usize, kind, addr);
+                }
+                SystemTraceEvent::WindowReset => sys.reset_stats(),
+            }
         }
     }
 }
@@ -251,5 +503,81 @@ mod tests {
         let before = a.len();
         a.extend_from(&b);
         assert_eq!(a.len(), before + b.len());
+    }
+
+    fn system_sample() -> SystemTrace {
+        let mut t = SystemTrace::new();
+        t.record_instructions(0, 10);
+        t.record_instructions(0, 5); // coalesces
+        t.record_ref(0, AccessSource::Workload, AccessKind::Store, Addr(0x1000));
+        t.record_instructions(1, 8);
+        t.record_ref(1, AccessSource::KernelTick, AccessKind::Load, Addr(0x1000));
+        t.record_window_reset();
+        t.record_ref(1, AccessSource::Workload, AccessKind::Load, Addr(0x1000));
+        t.record_instructions(1, 4);
+        t
+    }
+
+    #[test]
+    fn system_trace_events_pack_small() {
+        assert!(std::mem::size_of::<SystemTraceEvent>() <= 16);
+    }
+
+    #[test]
+    fn system_trace_counts_and_coalesces() {
+        let t = system_sample();
+        assert_eq!(t.cpus(), 2);
+        assert_eq!(t.refs(), 3);
+        assert_eq!(t.instructions(), 27);
+        assert_eq!(t.window_instructions(), 4);
+        // 3 instruction batches (one coalesced) + 3 refs + 1 reset.
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn system_trace_filter_by_source_keeps_instructions() {
+        let t = system_sample();
+        let f = t.filtered(|_, source| source != AccessSource::KernelTick);
+        assert_eq!(f.refs(), 2);
+        assert_eq!(f.instructions(), t.instructions());
+        assert_eq!(f.cpus(), t.cpus());
+    }
+
+    #[test]
+    fn system_trace_cpu_projection_drops_other_cpus() {
+        let t = system_sample();
+        let p0 = t.filtered_cpus(|cpu| cpu == 0);
+        assert_eq!(p0.refs(), 1);
+        assert_eq!(p0.instructions(), 15);
+        let s1 = t.cpu_stream(1);
+        assert_eq!(s1.refs(), 2);
+        assert_eq!(s1.instructions(), 12);
+    }
+
+    #[test]
+    fn system_replay_resets_stats_at_the_window_boundary() {
+        let t = system_sample();
+        let mut sys = MemorySystem::e6000(2).unwrap();
+        t.replay_into(&mut sys);
+        // Only the one post-reset reference is counted...
+        assert_eq!(sys.stats().total_accesses(), 1);
+        // ...but the pre-reset stores still warmed the caches: cpu 1's
+        // load finds cpu 0's dirty line and takes a cache-to-cache
+        // transfer, exactly as in the live run.
+        assert_eq!(sys.stats().total_c2c(), 0);
+        assert_eq!(sys.stats().load.accesses, 1);
+    }
+
+    #[test]
+    fn system_replay_matches_direct_driving() {
+        let t = system_sample();
+        let mut replayed = MemorySystem::e6000(2).unwrap();
+        t.replay_into(&mut replayed);
+        let mut direct = MemorySystem::e6000(2).unwrap();
+        direct.access(0, AccessKind::Store, Addr(0x1000));
+        direct.access(1, AccessKind::Load, Addr(0x1000));
+        direct.reset_stats();
+        direct.access(1, AccessKind::Load, Addr(0x1000));
+        assert_eq!(replayed.stats(), direct.stats());
     }
 }

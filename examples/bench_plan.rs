@@ -1,0 +1,88 @@
+//! Offline smoke benchmark for the experiment-plan worker pool: one
+//! Standard-effort batch of SPECjbb windows, timed serially and at the
+//! machine's core count, written to `BENCH_plan.json`.
+//!
+//! The batch mixes system sizes so the size-aware (largest-first)
+//! scheduler has something to do; the results are asserted identical
+//! between the two runs before any timing is reported, so the speedup
+//! number can never come from divergent work.
+//!
+//! Run with: `cargo run --release --example bench_plan [quick|standard|full]`
+
+use std::time::Instant;
+
+use middlesim::{jbb_machine, measure, Effort, ExperimentPlan};
+
+fn main() {
+    let effort = match std::env::args().nth(1).as_deref() {
+        Some("quick") => Effort::Quick,
+        Some("full") => Effort::Full,
+        _ => Effort::Standard,
+    };
+    // pset × seed, mixed sizes: the 4-way points cost ~4× the 1-way.
+    let jobs: Vec<(usize, u64)> = [1usize, 2, 4]
+        .iter()
+        .flat_map(|&p| (1..=2u64).map(move |s| (p, s)))
+        .collect();
+    let run = |plan: &ExperimentPlan| {
+        plan.run_hinted(
+            &jobs,
+            |&(p, _)| effort.cost_hint(p),
+            |&(p, s)| {
+                let mut m = jbb_machine(p, 2 * p, s, effort);
+                measure(&mut m, effort).throughput()
+            },
+        )
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "timing a {:?}-effort batch of {} windows at 1 vs {workers} workers...",
+        effort,
+        jobs.len()
+    );
+
+    let t0 = Instant::now();
+    let serial = run(&ExperimentPlan::serial(effort));
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run(&ExperimentPlan::serial(effort).with_threads(workers));
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    let identical = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(identical, "parallel results diverged from serial");
+
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    println!("serial:   {serial_secs:.2} s");
+    println!("parallel: {parallel_secs:.2} s  ({speedup:.2}x, results bit-identical)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"experiment_plan\",\n",
+            "  \"effort\": \"{:?}\",\n",
+            "  \"jobs\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"serial_secs\": {:.3},\n",
+            "  \"parallel_secs\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"bit_identical\": {}\n",
+            "}}\n"
+        ),
+        effort,
+        jobs.len(),
+        workers,
+        serial_secs,
+        parallel_secs,
+        speedup,
+        identical
+    );
+    std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+    println!("wrote BENCH_plan.json");
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline bench smoke: time one Standard-effort experiment-plan batch at
+# 1 worker vs all cores, writing BENCH_plan.json in the repo root.
+#
+# Usage: scripts/bench_smoke.sh [quick|standard|full]
+#
+# Pass `quick` for a fast sanity run (CI-sized); the default Standard
+# batch is the number the ROADMAP's bench item tracks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+effort="${1:-standard}"
+
+echo "==> building the bench example (offline, release)"
+cargo build --release --offline --example bench_plan
+
+echo "==> running the plan bench at effort: ${effort}"
+./target/release/examples/bench_plan "${effort}"
+
+echo "==> BENCH_plan.json"
+cat BENCH_plan.json

@@ -60,6 +60,69 @@ fn parallel_runner_matches_serial_bit_for_bit() {
     }
 }
 
+/// The official SPECjbb run protocol — speculative ramp rounds on the
+/// plan — produces the identical score structure at every worker count.
+#[test]
+fn official_run_is_identical_serial_and_parallel() {
+    let serial =
+        middlesim::official_run_with(&ExperimentPlan::serial(middlesim::Effort::Quick), 2, 4);
+    for threads in [2, 4] {
+        let parallel = middlesim::official_run_with(
+            &ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(threads),
+            2,
+            4,
+        );
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread official run diverged from serial"
+        );
+    }
+}
+
+/// The two-tier cluster — app seeds fanned out, query logs flowing into
+/// database replays as plan dependencies — merges to the identical
+/// report at every worker count.
+#[test]
+fn cluster_run_is_identical_serial_and_parallel() {
+    let serial = middlesim::run_cluster_with(&ExperimentPlan::serial(middlesim::Effort::Quick), 2);
+    for threads in [2, 4] {
+        let parallel = middlesim::run_cluster_with(
+            &ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(threads),
+            2,
+        );
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread cluster run diverged from serial"
+        );
+    }
+}
+
+/// On a mixed-size batch the size-aware runner claims the biggest jobs
+/// first — observed through the claim probe — while outputs still land
+/// in input order.
+#[test]
+fn mixed_size_batch_claims_largest_first() {
+    // Simulated "system sizes" as cost hints: 1, 16, 2, 8, 4.
+    let jobs: Vec<(usize, u64)> = [(0, 1u64), (1, 16), (2, 2), (3, 8), (4, 4)].to_vec();
+    for threads in [1, 2, 4] {
+        let claims = Mutex::new(Vec::new());
+        let out = ExperimentPlan::serial(middlesim::Effort::Quick)
+            .with_threads(threads)
+            .run_hinted_observed(
+                &jobs,
+                |&(_, size)| middlesim::Effort::Quick.cost_hint(size as usize),
+                |&(i, _)| i,
+                |i| claims.lock().unwrap().push(i),
+            );
+        assert_eq!(out, vec![0, 1, 2, 3, 4], "outputs merge in input order");
+        assert_eq!(
+            claims.into_inner().unwrap(),
+            vec![1, 3, 4, 2, 0],
+            "{threads}-thread pool must claim largest jobs first"
+        );
+    }
+}
+
 /// The runner demonstrably fans jobs across at least two OS threads.
 #[test]
 fn parallel_runner_uses_multiple_threads() {
