@@ -128,6 +128,11 @@ pub struct WindowReport {
     pub gc_count: u64,
     /// Cache-to-cache / L2-miss ratio.
     pub c2c_ratio: f64,
+    /// Fraction of would-be remote snoop probes the memory system's
+    /// sharer directory eliminated over the window (0 on broadcast or
+    /// single-L2 systems). Diagnostics only: the filter is exact, so no
+    /// other statistic depends on it.
+    pub snoop_filter_rate: f64,
 }
 
 impl WindowReport {
@@ -204,6 +209,7 @@ mod tests {
             gc_cycles: simcpu::CLOCK_HZ / 2,
             gc_count: 1,
             c2c_ratio: 0.0,
+            snoop_filter_rate: 0.0,
         };
         assert!((r.throughput() - 100.0).abs() < 1e-9);
         assert!((r.throughput_no_gc() - 200.0).abs() < 1e-9);

@@ -466,6 +466,7 @@ impl<W: Workload> Machine<W> {
             gc_cycles: self.gc.window_gc_cycles(),
             gc_count: self.gc.window_gc_count(),
             c2c_ratio: self.mem.stats().c2c_ratio(),
+            snoop_filter_rate: self.mem.bus_stats().snoop_filter_rate(),
         }
     }
 }

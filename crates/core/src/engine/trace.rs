@@ -17,7 +17,7 @@
 //! and filter at replay time with
 //! [`SystemTrace::filtered`](memsys::SystemTrace::filtered).
 
-use memsys::{HierarchyConfig, MemorySystem, SystemStats, SystemTrace};
+use memsys::{BusStats, HierarchyConfig, MemorySystem, SystemStats, SystemTrace};
 
 use super::observer::{AccessEvent, AccessSource, SimObserver};
 use crate::experiment::ExperimentPlan;
@@ -92,6 +92,9 @@ pub struct ReplayReport {
     /// Memory-system statistics after the replay (reset at the capture's
     /// recorded window boundary, so they cover the same window).
     pub stats: SystemStats,
+    /// Bus transaction counters over the same window, including the
+    /// snoop-filter diagnostics (`snoops_sent` / `snoops_filtered`).
+    pub bus: BusStats,
     /// Instructions retired inside the window.
     pub instructions: u64,
 }
@@ -114,6 +117,7 @@ pub fn replay_trace(trace: &SystemTrace, hierarchy: &HierarchyConfig) -> ReplayR
     trace.replay_into(&mut sys);
     ReplayReport {
         stats: sys.stats().clone(),
+        bus: *sys.bus_stats(),
         instructions: trace.window_instructions(),
     }
 }

@@ -136,6 +136,7 @@ mod tests {
             gc_cycles: 0,
             gc_count: 0,
             c2c_ratio: 0.0,
+            snoop_filter_rate: 0.0,
         };
         let p = ScalingPoint {
             p: 4,
@@ -157,6 +158,7 @@ mod tests {
                 gc_cycles: 0,
                 gc_count: 0,
                 c2c_ratio: 0.0,
+                snoop_filter_rate: 0.0,
             }],
         };
         let pts = vec![mk(1, 100), mk(4, 350)];

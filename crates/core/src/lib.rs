@@ -19,11 +19,6 @@ pub mod cluster;
 pub mod engine;
 pub mod experiment;
 pub mod figures;
-#[deprecated(
-    since = "0.2.0",
-    note = "the machine lives in `engine` now; import from there or the crate root"
-)]
-pub mod machine;
 pub mod score;
 
 pub use cluster::{replay_into_database, run_cluster, run_cluster_with, ClusterReport};

@@ -20,6 +20,16 @@ pub struct BusStats {
     pub snoop_copybacks: u64,
     /// Writebacks of dirty victims to memory.
     pub writebacks: u64,
+    /// Remote L2 probes actually performed for bus transactions.
+    ///
+    /// Diagnostics, not protocol state: with the sharer directory enabled
+    /// only actual sharers are probed; a broadcast system probes every
+    /// remote group. All protocol-visible counters above are identical
+    /// either way.
+    pub snoops_sent: u64,
+    /// Remote L2 probes skipped because the sharer directory proved the
+    /// group holds no copy. Always zero on a broadcast system.
+    pub snoops_filtered: u64,
 }
 
 impl BusStats {
@@ -43,6 +53,24 @@ impl BusStats {
     /// Records a dirty-victim writeback.
     pub fn record_writeback(&mut self) {
         self.writebacks += 1;
+    }
+
+    /// Records one bus transaction's snoop fan-out: how many remote L2s
+    /// were probed and how many the filter let skip.
+    pub fn record_snoops(&mut self, sent: u64, filtered: u64) {
+        self.snoops_sent += sent;
+        self.snoops_filtered += filtered;
+    }
+
+    /// Fraction of would-be remote probes the snoop filter eliminated
+    /// (0 when no transaction has snooped yet, and on broadcast systems).
+    pub fn snoop_filter_rate(&self) -> f64 {
+        let total = self.snoops_sent + self.snoops_filtered;
+        if total == 0 {
+            0.0
+        } else {
+            self.snoops_filtered as f64 / total as f64
+        }
     }
 
     /// Total address transactions (data-carrying or not).
@@ -69,5 +97,16 @@ mod tests {
         assert_eq!(b.snoop_copybacks, 2);
         assert_eq!(b.writebacks, 1);
         assert_eq!(b.total_transactions(), 5);
+    }
+
+    #[test]
+    fn snoop_counters_and_filter_rate() {
+        let mut b = BusStats::new();
+        assert_eq!(b.snoop_filter_rate(), 0.0);
+        b.record_snoops(1, 14);
+        b.record_snoops(0, 15);
+        assert_eq!(b.snoops_sent, 1);
+        assert_eq!(b.snoops_filtered, 29);
+        assert!((b.snoop_filter_rate() - 29.0 / 30.0).abs() < 1e-12);
     }
 }

@@ -34,7 +34,9 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod config;
+pub mod directory;
 pub mod linestats;
+mod mem;
 pub mod protocol;
 pub mod sink;
 pub mod stats;
@@ -43,8 +45,10 @@ pub mod system;
 pub mod trace;
 
 pub use addr::{Addr, AddrRange, LineAddr, LINE_BITS, LINE_BYTES};
+pub use bus::BusStats;
 pub use cache::{Cache, Evicted};
 pub use config::{CacheConfig, ConfigError, HierarchyConfig};
+pub use directory::Directory;
 pub use linestats::LineStats;
 pub use protocol::{BusOp, LineState};
 pub use sink::{CountingSink, MemSink, RecordingSink, TeeSink};

@@ -65,6 +65,20 @@ impl LineState {
     pub fn supplies_data(self) -> bool {
         self.is_dirty()
     }
+
+    /// Inverse of `self as u64` over the enum's discriminants — the decode
+    /// half of the packed tag+state words the cache stores (see `cache.rs`).
+    /// Unknown codes decode to [`LineState::Invalid`].
+    #[inline]
+    pub(crate) fn from_code(code: u64) -> LineState {
+        match code {
+            1 => LineState::Shared,
+            2 => LineState::Exclusive,
+            3 => LineState::Owned,
+            4 => LineState::Modified,
+            _ => LineState::Invalid,
+        }
+    }
 }
 
 impl fmt::Display for LineState {

@@ -9,11 +9,33 @@
 //!
 //! The same type models the Figure 16 chip-multiprocessor topologies by
 //! letting several processors share each L2 ([`HierarchyConfig::cpus_per_l2`]).
+//!
+//! ## Hot path
+//!
+//! [`MemorySystem::access`] is the simulator's throughput ceiling, so it is
+//! built around two structural optimizations that change no statistic:
+//!
+//! - **Single-lookup accesses.** Each address is decomposed into its
+//!   `(set, tag)` key once per cache level ([`Cache::locate`]) and the key
+//!   is threaded through every protocol step, so multi-step actions (touch
+//!   then upgrade, miss then fill) never walk a set twice. Because every
+//!   L2 shares one geometry, the *same* key drives all snoop probes.
+//! - **An exact sharer directory** ([`Directory`], the duplicate-tag snoop
+//!   filter). Instead of broadcasting every miss to every L2 group, the
+//!   system consults a per-line bitset of groups holding a valid copy and
+//!   probes only those. Broadcast probes of non-holders are no-ops, so the
+//!   filter is bit-identical to broadcast MOESI; [`BusStats::snoops_sent`]
+//!   and [`BusStats::snoops_filtered`] record its effectiveness, and
+//!   [`MemorySystem::new_broadcast`] builds the unfiltered reference
+//!   implementation the differential oracle checks against. Per-line L1
+//!   presence masks play the same role one level up: inclusion
+//!   invalidations skip processors that never held the line.
 
 use crate::addr::Addr;
 use crate::bus::BusStats;
 use crate::cache::Cache;
 use crate::config::{ConfigError, HierarchyConfig};
+use crate::directory::Directory;
 use crate::linestats::LineStats;
 use crate::protocol::{BusOp, LineState};
 use crate::stats::{AccessKind, AccessOutcome, HitLevel, SystemStats};
@@ -25,20 +47,60 @@ pub struct MemorySystem {
     l1i: Vec<Cache>,
     l1d: Vec<Cache>,
     l2: Vec<Cache>,
+    /// Exact sharer directory; `None` on broadcast systems and trivial
+    /// topologies (a single L2 group has nobody to snoop).
+    dir: Option<Directory>,
+    /// Precomputed L2 geometry for directory keys (`tag << index_bits | set`
+    /// is the raw line index every group agrees on).
+    l2_index_bits: u32,
+    l2_block_bits: u32,
     stats: SystemStats,
     bus: BusStats,
     linestats: Option<LineStats>,
 }
 
 impl MemorySystem {
-    /// Builds an empty memory system from a validated configuration.
+    /// Builds an empty memory system from a validated configuration, with
+    /// the sharer-directory snoop filter and L1 presence tracking enabled
+    /// where the topology permits.
     pub fn new(cfg: HierarchyConfig) -> Self {
+        MemorySystem::build(cfg, /* filtered: */ true)
+    }
+
+    /// Builds the broadcast reference implementation: every bus
+    /// transaction probes every remote L2, and inclusion invalidations
+    /// visit every processor of a group — the pre-filter behavior, kept as
+    /// the differential oracle for the snoop filter's exactness claim.
+    pub fn new_broadcast(cfg: HierarchyConfig) -> Self {
+        MemorySystem::build(cfg, false)
+    }
+
+    fn build(cfg: HierarchyConfig, filtered: bool) -> Self {
         let l2_count = cfg.l2_count();
+        // Presence masks index CPUs within a group by bit; the directory
+        // indexes groups by bit. Either falls back to exhaustive loops
+        // (broadcast) where it cannot help — presence for private L2s
+        // (the loop is one cpu) or more sharers than a u64 tracks —
+        // without affecting results.
+        let track_presence = filtered && cfg.cpus_per_l2 > 1 && cfg.cpus_per_l2 <= 64;
+        let dir = (filtered && l2_count > 1 && l2_count <= Directory::MAX_GROUPS)
+            .then(|| Directory::new(l2_count, cfg.l2.sets() as usize, cfg.l2.ways as usize));
         MemorySystem {
             cfg,
             l1i: (0..cfg.cpus).map(|_| Cache::new(cfg.l1i)).collect(),
             l1d: (0..cfg.cpus).map(|_| Cache::new(cfg.l1d)).collect(),
-            l2: (0..l2_count).map(|_| Cache::new(cfg.l2)).collect(),
+            l2: (0..l2_count)
+                .map(|_| {
+                    if track_presence {
+                        Cache::with_presence(cfg.l2)
+                    } else {
+                        Cache::new(cfg.l2)
+                    }
+                })
+                .collect(),
+            dir,
+            l2_index_bits: cfg.l2.sets().trailing_zeros(),
+            l2_block_bits: cfg.l2.block_bits(),
             stats: SystemStats::new(cfg.cpus),
             bus: BusStats::new(),
             linestats: None,
@@ -57,6 +119,11 @@ impl MemorySystem {
     /// The system's configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
+    }
+
+    /// Whether the sharer-directory snoop filter is active.
+    pub fn snoop_filter_enabled(&self) -> bool {
+        self.dir.is_some()
     }
 
     /// Access statistics accumulated so far.
@@ -97,6 +164,51 @@ impl MemorySystem {
         self.cfg.cpus
     }
 
+    /// The directory key for an L2 `(set, tag)` pair: the raw line index,
+    /// identical across groups because all L2s share one geometry.
+    #[inline]
+    fn l2_line_key(&self, set: usize, tag: u64) -> u64 {
+        (tag << self.l2_index_bits) | set as u64
+    }
+
+    /// Starts the long memory fetches a future `access(cpu, kind, addr)`
+    /// will depend on — the referencing L1's set words, the group's L2
+    /// set words, and the line's sharer-directory slot — without
+    /// changing any state.
+    ///
+    /// `access` is latency-bound, not bandwidth-bound: each reference
+    /// chases two or three *dependent* loads into multi-megabyte tables
+    /// (set words, then directory), and nothing inside a single call can
+    /// overlap the first of them. A trace-driven caller, though, knows
+    /// its future references; warming a handful of records ahead of the
+    /// replay cursor lets those fetches proceed concurrently across
+    /// accesses, which is worth more than any single-access tuning. Both
+    /// the `bench_memsys` example and the trace-replay path drive the
+    /// system this way. Purely a hint: skipping it, or warming addresses
+    /// that are never accessed, affects no statistic.
+    ///
+    /// Unlike the access path's own entry prefetches (which *must* run,
+    /// so they use discarded real loads), warming uses non-binding
+    /// prefetch instructions: a hint issued several records early has
+    /// time to complete when it lands, and when it doesn't (the page
+    /// translation missed, or the guess was wasted) it costs nothing —
+    /// binding loads here were measured to give back more in retire
+    /// pressure than their warming won.
+    pub fn warm(&self, cpu: usize, kind: AccessKind, addr: Addr) {
+        let l1 = match kind {
+            AccessKind::Ifetch => &self.l1i[cpu],
+            _ => &self.l1d[cpu],
+        };
+        let (l1_set, _) = l1.locate(addr);
+        l1.hint_set(l1_set);
+        let group = self.cfg.l2_group(cpu);
+        let (set, _) = self.l2[group].locate(addr);
+        self.l2[group].hint_set(set);
+        if let Some(dir) = &self.dir {
+            dir.hint(addr.0 >> self.l2_block_bits);
+        }
+    }
+
     /// Performs one memory reference by processor `cpu` and returns its
     /// outcome. This is the simulator's hot path.
     ///
@@ -130,25 +242,45 @@ impl MemorySystem {
         ifetch: bool,
     ) -> AccessOutcome {
         let group = self.cfg.l2_group(cpu);
-        let l1 = if ifetch {
-            &mut self.l1i[cpu]
-        } else {
-            &mut self.l1d[cpu]
-        };
-        let l1_hit = l1.touch(addr).is_some();
+        // Start the two long fetches of this access — the group's L2 set
+        // words and (on filtered systems) the line's directory slot —
+        // before the L1 probe, so they overlap it instead of following it.
+        let (set, tag) = self.l2[group].locate(addr);
+        self.l2[group].prefetch_set(set);
+        if let Some(dir) = &self.dir {
+            dir.prefetch(addr.0 >> self.l2_block_bits);
+        }
 
         if !store {
-            if l1_hit {
+            let l1 = if ifetch {
+                &mut self.l1i[cpu]
+            } else {
+                &mut self.l1d[cpu]
+            };
+            let (l1_set, l1_tag) = l1.locate(addr);
+            if l1.touch_at(l1_set, l1_tag).is_some() {
                 return AccessOutcome::hit(HitLevel::L1);
             }
-            let outcome = self.read_l2(group, addr);
-            self.fill_l1(cpu, addr, ifetch);
+            let outcome = self.read_l2(group, set, tag);
+            // The line is now MRU in the group's L2 (hit-promoted or just
+            // filled). Fill the L1 — the touch above proved it absent, so
+            // insert directly, no probe — and mark this cpu present.
+            let l1 = if ifetch {
+                &mut self.l1i[cpu]
+            } else {
+                &mut self.l1d[cpu]
+            };
+            let _ = l1.insert_at(l1_set, l1_tag, LineState::Shared);
+            let bit = 1u64 << (cpu - group * self.cfg.cpus_per_l2);
+            self.l2[group].or_presence_mru(set, tag, bit);
             return outcome;
         }
 
         // Stores: write-through L1 (update only if present, no allocate),
-        // then act on the L2 line's coherence state.
-        match self.l2[group].touch(addr) {
+        // then act on the L2 line's coherence state. A touch hit leaves
+        // the line MRU, so the E→M and S/O→M rewrites are O(1).
+        let l1_hit = self.l1d[cpu].touch(addr).is_some();
+        match self.l2[group].touch_at(set, tag) {
             Some(LineState::Modified) => {
                 if l1_hit {
                     AccessOutcome::hit(HitLevel::L1)
@@ -158,7 +290,11 @@ impl MemorySystem {
             }
             Some(LineState::Exclusive) => {
                 // Silent E -> M upgrade, no bus traffic.
-                self.l2[group].set_state(addr, LineState::Modified);
+                self.l2[group].set_state_mru(set, tag, LineState::Modified);
+                if self.dir.is_some() {
+                    let key = self.l2_line_key(set, tag);
+                    self.dir.as_mut().expect("filtered").set_owner(key, group);
+                }
                 if l1_hit {
                     AccessOutcome::hit(HitLevel::L1)
                 } else {
@@ -166,29 +302,32 @@ impl MemorySystem {
                 }
             }
             Some(LineState::Shared) | Some(LineState::Owned) => {
-                // Bus upgrade: invalidate all other copies.
-                self.invalidate_remote(group, addr);
-                self.l2[group].set_state(addr, LineState::Modified);
+                // Bus upgrade: invalidate all other copies. The snoop
+                // updates the directory too (requester becomes sole
+                // sharer and owner).
+                self.invalidate_remote(group, addr, set, tag);
+                self.l2[group].set_state_mru(set, tag, LineState::Modified);
                 self.bus.record(BusOp::Upgrade, false);
                 AccessOutcome::hit(HitLevel::Upgrade)
             }
-            Some(LineState::Invalid) | None => self.write_miss(cpu, group, addr),
+            Some(LineState::Invalid) | None => self.write_miss(group, addr, set, tag),
         }
     }
 
-    fn read_l2(&mut self, group: usize, addr: Addr) -> AccessOutcome {
-        if self.l2[group].touch(addr).is_some() {
+    fn read_l2(&mut self, group: usize, set: usize, tag: u64) -> AccessOutcome {
+        if self.l2[group].touch_at(set, tag).is_some() {
             return AccessOutcome::hit(HitLevel::L2);
         }
         // L2 read miss: GetS on the bus.
-        let (supplied, any_remote) = self.snoop_read(group, addr);
+        self.prefetch_victim_dir(group, set);
+        let (supplied, any_remote) = self.snoop_read(group, set, tag);
         self.bus.record(BusOp::GetS, supplied);
         let fill_state = if any_remote {
             LineState::Shared
         } else {
             LineState::Exclusive
         };
-        let writeback = self.fill_l2(group, addr, fill_state);
+        let writeback = self.fill_l2(group, set, tag, fill_state);
         AccessOutcome {
             level: if supplied {
                 HitLevel::CacheToCache
@@ -200,16 +339,15 @@ impl MemorySystem {
         }
     }
 
-    fn write_miss(&mut self, cpu: usize, group: usize, addr: Addr) -> AccessOutcome {
+    fn write_miss(&mut self, group: usize, addr: Addr, set: usize, tag: u64) -> AccessOutcome {
         // GetX: take ownership, invalidating every other copy. A dirty
-        // remote owner supplies the data (snoop copyback).
-        let supplied = self.snoop_write(group, addr);
+        // remote owner supplies the data (snoop copyback). No-write-allocate
+        // L1: the store completes in the L2 (a stale L1 copy was already
+        // updated via the write-through touch).
+        self.prefetch_victim_dir(group, set);
+        let supplied = self.snoop_write(group, addr, set, tag);
         self.bus.record(BusOp::GetX, supplied);
-        let writeback = self.fill_l2(group, addr, LineState::Modified);
-        // No-write-allocate L1: the store completes in the L2. But if the
-        // L1 happens to hold a stale copy it was already updated via the
-        // write-through path (touch above found it).
-        let _ = cpu;
+        let writeback = self.fill_l2(group, set, tag, LineState::Modified);
         AccessOutcome {
             level: if supplied {
                 HitLevel::CacheToCache
@@ -218,79 +356,211 @@ impl MemorySystem {
             },
             c2c: supplied,
             writeback,
+        }
+    }
+
+    /// Starts fetching the directory slot of the line the coming
+    /// [`Self::fill_l2`] will evict from `(group, set)`, so the victim's
+    /// `remove_sharer` — a second random table line, unrelated to the one
+    /// the access-entry prefetch warmed — overlaps with the snoop instead
+    /// of stalling the fill. A hint only; no architectural effect.
+    #[inline]
+    fn prefetch_victim_dir(&self, group: usize, set: usize) {
+        if let Some(dir) = &self.dir {
+            if let Some(victim) = self.l2[group].victim_line_index(set) {
+                dir.prefetch(victim);
+            }
         }
     }
 
     /// Snoops a read: downgrade remote holders, report whether a dirty
     /// remote cache supplied the data and whether any remote copy exists.
-    fn snoop_read(&mut self, requester: usize, addr: Addr) -> (bool, bool) {
+    ///
+    /// On filtered systems this also registers the requester's imminent
+    /// fill: reading the sharer set and adding the requester is one fused
+    /// directory access ([`Directory::fetch_and_add`]), since a separate
+    /// update would touch the very same entry again.
+    fn snoop_read(&mut self, requester: usize, set: usize, tag: u64) -> (bool, bool) {
+        let remote = (self.l2.len() - 1) as u64;
         let mut supplied = false;
-        let mut any = false;
-        for g in 0..self.l2.len() {
-            if g == requester {
-                continue;
-            }
-            if let Some(state) = self.l2[g].probe(addr) {
-                any = true;
+        if self.dir.is_some() {
+            let key = self.l2_line_key(set, tag);
+            let sharers = self
+                .dir
+                .as_mut()
+                .expect("filtered")
+                .fetch_and_add(key, requester);
+            // The requester just missed; an exact directory cannot list
+            // it as a prior sharer.
+            debug_assert_eq!(sharers & (1 << requester), 0, "missed line has own bit");
+            let count = u64::from(sharers.count_ones());
+            self.bus.record_snoops(count, remote - count);
+            let mut rest = sharers;
+            while rest != 0 {
+                let g = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let state = self.l2[g]
+                    .update_at(set, tag, LineState::after_remote_read)
+                    .expect("directory sharer must hold the line");
                 if state.supplies_data() {
                     supplied = true;
                 }
-                let next = state.after_remote_read();
-                if next != state {
-                    self.l2[g].set_state(addr, next);
+            }
+            (supplied, sharers != 0)
+        } else {
+            self.bus.record_snoops(remote, 0);
+            let mut any = false;
+            for g in 0..self.l2.len() {
+                if g == requester {
+                    continue;
+                }
+                if let Some(state) = self.l2[g].update_at(set, tag, LineState::after_remote_read) {
+                    any = true;
+                    if state.supplies_data() {
+                        supplied = true;
+                    }
                 }
             }
+            (supplied, any)
         }
-        (supplied, any)
     }
 
     /// Snoops a write: invalidate all remote copies (L2 and the inclusive
     /// L1s above them); returns whether a dirty remote owner supplied data.
-    fn snoop_write(&mut self, requester: usize, addr: Addr) -> bool {
+    ///
+    /// On filtered systems the directory transition is one fused access
+    /// ([`Directory::take_exclusive`]): the prior sharer set comes back
+    /// for the invalidation loop and the entry is left naming the
+    /// requester as sole sharer and owner — no per-remote removals, no
+    /// separate fill-side update.
+    fn snoop_write(&mut self, requester: usize, addr: Addr, set: usize, tag: u64) -> bool {
+        let remote = (self.l2.len() - 1) as u64;
         let mut supplied = false;
-        for g in 0..self.l2.len() {
-            if g == requester {
-                continue;
-            }
-            if let Some(state) = self.l2[g].probe(addr) {
+        if self.dir.is_some() {
+            let key = self.l2_line_key(set, tag);
+            let sharers = self
+                .dir
+                .as_mut()
+                .expect("filtered")
+                .take_exclusive(key, requester);
+            debug_assert_eq!(sharers & (1 << requester), 0, "missed line has own bit");
+            let count = u64::from(sharers.count_ones());
+            self.bus.record_snoops(count, remote - count);
+            let mut rest = sharers;
+            while rest != 0 {
+                let g = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let (state, presence) = self.l2[g]
+                    .invalidate_at(set, tag)
+                    .expect("directory sharer must hold the line");
                 if state.supplies_data() {
                     supplied = true;
                 }
-                self.l2[g].invalidate(addr);
-                self.invalidate_l1s_of_group(g, addr);
+                self.invalidate_l1s_of_group(g, addr, presence);
+            }
+        } else {
+            self.bus.record_snoops(remote, 0);
+            for g in 0..self.l2.len() {
+                if g == requester {
+                    continue;
+                }
+                if let Some((state, _)) = self.l2[g].invalidate_at(set, tag) {
+                    if state.supplies_data() {
+                        supplied = true;
+                    }
+                    self.invalidate_l1s_of_group(g, addr, u64::MAX);
+                }
             }
         }
         supplied
     }
 
-    /// Invalidates remote L2 + L1 copies (upgrade path).
-    fn invalidate_remote(&mut self, requester: usize, addr: Addr) {
-        for g in 0..self.l2.len() {
-            if g == requester {
-                continue;
+    /// Invalidates remote L2 + L1 copies (upgrade path). Unlike the miss
+    /// snoops, the requester holds the line here, so its directory bit is
+    /// legitimately set and masked off the invalidation set; the same
+    /// fused [`Directory::take_exclusive`] access leaves the entry
+    /// correct (requester sole sharer, now the owner).
+    fn invalidate_remote(&mut self, requester: usize, addr: Addr, set: usize, tag: u64) {
+        let remote = (self.l2.len() - 1) as u64;
+        if self.dir.is_some() {
+            let key = self.l2_line_key(set, tag);
+            let prior = self
+                .dir
+                .as_mut()
+                .expect("filtered")
+                .take_exclusive(key, requester);
+            debug_assert_ne!(prior & (1 << requester), 0, "upgrading holder not a sharer");
+            let sharers = prior & !(1 << requester);
+            let count = u64::from(sharers.count_ones());
+            self.bus.record_snoops(count, remote - count);
+            let mut rest = sharers;
+            while rest != 0 {
+                let g = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let (_, presence) = self.l2[g]
+                    .invalidate_at(set, tag)
+                    .expect("directory sharer must hold the line");
+                self.invalidate_l1s_of_group(g, addr, presence);
             }
-            if self.l2[g].invalidate(addr).is_some() {
-                self.invalidate_l1s_of_group(g, addr);
+        } else {
+            self.bus.record_snoops(remote, 0);
+            for g in 0..self.l2.len() {
+                if g == requester {
+                    continue;
+                }
+                if self.l2[g].invalidate_at(set, tag).is_some() {
+                    self.invalidate_l1s_of_group(g, addr, u64::MAX);
+                }
             }
         }
     }
 
-    fn invalidate_l1s_of_group(&mut self, group: usize, addr: Addr) {
-        let first = group * self.cfg.cpus_per_l2;
-        for cpu in first..first + self.cfg.cpus_per_l2 {
-            self.l1i[cpu].invalidate(addr);
-            self.l1d[cpu].invalidate(addr);
+    /// Invalidates `addr` in the L1s of one group's processors, guided by
+    /// the L2 line's presence mask: only CPUs whose bit is set are
+    /// visited (`u64::MAX` — tracking disabled — visits all of them, the
+    /// broadcast behavior). The mask may over-approximate (bits survive
+    /// silent L1 evictions); it never under-approximates, which is what
+    /// inclusion needs.
+    fn invalidate_l1s_of_group(&mut self, group: usize, addr: Addr, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        let per = self.cfg.cpus_per_l2;
+        let first = group * per;
+        let (si, ti) = self.l1i[first].locate(addr);
+        let (sd, td) = self.l1d[first].locate(addr);
+        if mask == u64::MAX {
+            for cpu in first..first + per {
+                let _ = self.l1i[cpu].invalidate_at(si, ti);
+                let _ = self.l1d[cpu].invalidate_at(sd, td);
+            }
+        } else {
+            debug_assert_eq!(mask >> (per - 1) >> 1, 0, "presence bit beyond the group");
+            let mut rest = mask;
+            while rest != 0 {
+                let cpu = first + rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let _ = self.l1i[cpu].invalidate_at(si, ti);
+                let _ = self.l1d[cpu].invalidate_at(sd, td);
+            }
         }
     }
 
     /// Fills the group's L2, handling the victim: dirty victims write back
     /// to memory; all victims are invalidated in the group's L1s to keep
     /// inclusion. Returns whether a writeback occurred.
-    fn fill_l2(&mut self, group: usize, addr: Addr, state: LineState) -> bool {
-        let evicted = self.l2[group].insert(addr, state);
+    ///
+    /// The fill side of the directory update already happened inside the
+    /// preceding snoop's fused access; the victim's removal is the one
+    /// residency change only this function sees.
+    fn fill_l2(&mut self, group: usize, set: usize, tag: u64, state: LineState) -> bool {
+        let evicted = self.l2[group].insert_at(set, tag, state);
         match evicted {
             Some(victim) => {
-                self.invalidate_l1s_of_group(group, victim.line.base());
+                if let Some(dir) = &mut self.dir {
+                    dir.remove_sharer(victim.line.base().0 >> self.l2_block_bits, group);
+                }
+                self.invalidate_l1s_of_group(group, victim.line.base(), victim.presence);
                 if victim.state.is_dirty() {
                     self.bus.record_writeback();
                     true
@@ -299,19 +569,6 @@ impl MemorySystem {
                 }
             }
             None => false,
-        }
-    }
-
-    /// Fills the referencing processor's L1 with a clean copy after a read.
-    /// L1 victims are clean (write-through), so eviction is silent.
-    fn fill_l1(&mut self, cpu: usize, addr: Addr, ifetch: bool) {
-        let l1 = if ifetch {
-            &mut self.l1i[cpu]
-        } else {
-            &mut self.l1d[cpu]
-        };
-        if l1.probe(addr).is_none() {
-            let _ = l1.insert(addr, LineState::Shared);
         }
     }
 
@@ -332,6 +589,42 @@ impl MemorySystem {
     /// Whether `addr` is valid in the given processor's L1s (I or D).
     pub fn l1_holds(&self, cpu: usize, addr: Addr) -> bool {
         self.l1i[cpu].probe(addr).is_some() || self.l1d[cpu].probe(addr).is_some()
+    }
+
+    /// Audits the sharer directory against the ground truth of the L2
+    /// contents: every tracked line's sharer bitset must equal the set of
+    /// groups actually holding it valid, and the owner hint must name the
+    /// group holding it dirty. O(total L2 capacity) — tests and
+    /// diagnostics only. No-op on broadcast systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory and the caches disagree.
+    pub fn audit_directory(&self) {
+        let Some(dir) = &self.dir else { return };
+        let mut expected: std::collections::HashMap<u64, (u64, Option<usize>)> =
+            std::collections::HashMap::new();
+        for (g, l2) in self.l2.iter().enumerate() {
+            for (line, state) in l2.resident() {
+                let key = line.base().0 >> self.l2_block_bits;
+                let e = expected.entry(key).or_insert((0, None));
+                e.0 |= 1 << g;
+                if state.is_dirty() {
+                    assert!(e.1.is_none(), "two dirty copies of line {key:#x}");
+                    e.1 = Some(g);
+                }
+            }
+        }
+        assert_eq!(
+            dir.lines(),
+            expected.len(),
+            "directory tracks a different line population than the caches hold"
+        );
+        for (line, sharers, owner) in dir.iter() {
+            let (want_sharers, want_owner) = expected.get(&line).copied().unwrap_or((0, None));
+            assert_eq!(sharers, want_sharers, "sharer bitset wrong for {line:#x}");
+            assert_eq!(owner, want_owner, "owner hint wrong for {line:#x}");
+        }
     }
 }
 
@@ -500,5 +793,68 @@ mod tests {
     fn out_of_range_cpu_panics() {
         let mut m = sys(1);
         m.access(1, AccessKind::Load, Addr(0));
+    }
+
+    #[test]
+    fn filter_skips_uncontended_misses() {
+        let mut m = sys(16);
+        assert!(m.snoop_filter_enabled());
+        // Nobody holds this line: the GetS probes zero remote L2s and the
+        // filter absorbs all 15 would-be snoops.
+        m.access(0, AccessKind::Load, Addr(0x4000));
+        assert_eq!(m.bus_stats().snoops_sent, 0);
+        assert_eq!(m.bus_stats().snoops_filtered, 15);
+        // One actual sharer: exactly one probe goes out.
+        m.access(1, AccessKind::Load, Addr(0x4000));
+        assert_eq!(m.bus_stats().snoops_sent, 1);
+        assert_eq!(m.bus_stats().snoops_filtered, 29);
+        assert!(m.bus_stats().snoop_filter_rate() > 0.9);
+        m.audit_directory();
+    }
+
+    #[test]
+    fn broadcast_system_filters_nothing() {
+        let mut m = MemorySystem::new_broadcast(HierarchyConfig::e6000(4).unwrap());
+        assert!(!m.snoop_filter_enabled());
+        m.access(0, AccessKind::Load, Addr(0x4000));
+        m.access(1, AccessKind::Store, Addr(0x4000));
+        assert_eq!(m.bus_stats().snoops_filtered, 0);
+        assert_eq!(m.bus_stats().snoops_sent, 6);
+        m.audit_directory(); // no-op, must not panic
+    }
+
+    #[test]
+    fn directory_stays_exact_through_upgrades_and_evictions() {
+        let mut b = HierarchyConfig::builder(4);
+        b.l2(CacheConfig::new(512, 2, 64).unwrap());
+        b.l1i(CacheConfig::new(256, 2, 64).unwrap());
+        b.l1d(CacheConfig::new(256, 2, 64).unwrap());
+        let mut m = MemorySystem::new(b.build().unwrap());
+        // Share a line everywhere, upgrade it, then churn the set to force
+        // evictions; the directory must match the caches at every stage.
+        for cpu in 0..4 {
+            m.access(cpu, AccessKind::Load, Addr(0x40));
+        }
+        m.audit_directory();
+        m.access(2, AccessKind::Store, Addr(0x40));
+        m.audit_directory();
+        for i in 1..=6u64 {
+            m.access(0, AccessKind::Load, Addr(0x40 + i * 256));
+        }
+        m.audit_directory();
+    }
+
+    #[test]
+    fn presence_mask_limits_inclusion_invalidations() {
+        // Shared L2 among 4 cpus: only cpu 3 reads the line, so only its
+        // L1 may hold it; a remote write must still invalidate it.
+        let mut b = HierarchyConfig::builder(8);
+        b.cpus_per_l2(4);
+        let mut m = MemorySystem::new(b.build().unwrap());
+        m.access(3, AccessKind::Load, Addr(0x2000));
+        assert!(m.l1_holds(3, Addr(0x2000)));
+        m.access(4, AccessKind::Store, Addr(0x2000)); // remote group GetX
+        assert!(!m.l1_holds(3, Addr(0x2000)), "inclusion invalidation lost");
+        m.audit_directory();
     }
 }

@@ -349,17 +349,43 @@ impl SystemTrace {
     /// resetting the system's statistics at each recorded window
     /// boundary.
     ///
+    /// Replay is where a trace-driven caller's one advantage over live
+    /// execution pays off: the future is already known. A second cursor
+    /// runs a few references ahead of the issue point and announces each
+    /// one to [`MemorySystem::warm`], overlapping the simulator's long
+    /// metadata fetches across accesses. Warming is hint-only, so the
+    /// replayed statistics are identical with or without it (the
+    /// round-trip suite in `tests/trace_roundtrip.rs` holds this path to
+    /// exact equality with live capture).
+    ///
     /// # Panics
     ///
     /// Panics if the trace references a processor the system lacks.
     pub fn replay_into(&self, sys: &mut MemorySystem) {
-        for e in &self.events {
+        /// References the warm cursor keeps ahead of the issue cursor —
+        /// enough lead for a fetch to land; hints are free, so the
+        /// exact depth is uncritical.
+        const LOOKAHEAD: usize = 8;
+        let events = &self.events;
+        let (mut ahead, mut warmed, mut issued) = (0usize, 0usize, 0usize);
+        for e in events {
+            while warmed < issued + LOOKAHEAD && ahead < events.len() {
+                if let SystemTraceEvent::Ref {
+                    cpu, kind, addr, ..
+                } = events[ahead]
+                {
+                    sys.warm(cpu as usize, kind, addr);
+                    warmed += 1;
+                }
+                ahead += 1;
+            }
             match *e {
                 SystemTraceEvent::Instructions { .. } => {}
                 SystemTraceEvent::Ref {
                     cpu, kind, addr, ..
                 } => {
                     sys.access(cpu as usize, kind, addr);
+                    issued += 1;
                 }
                 SystemTraceEvent::WindowReset => sys.reset_stats(),
             }

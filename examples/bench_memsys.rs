@@ -1,0 +1,161 @@
+//! Offline raw-throughput benchmark for `MemorySystem::access`: streams a
+//! seeded reference mix through 1/4/16-CPU systems (plus the shared-L2
+//! Figure 16 shape) and writes refs/sec to `BENCH_memsys.json`.
+//!
+//! The mix is deliberately miss-heavy (per-CPU working sets 4x the L2)
+//! with a small hot shared region, so both the bus paths and the
+//! coherence paths are exercised; the stream is a pure function of the
+//! seed, so pre/post-optimization numbers are directly comparable.
+//!
+//! The driver replays the stream the way a trace replayer does: each
+//! reference is generated `LOOKAHEAD` records before it is issued and
+//! announced to [`MemorySystem::warm`], so the simulator's long metadata
+//! fetches (L2 set words, sharer-directory slots) overlap *across*
+//! accesses instead of serializing inside each one. Warming is hint-only
+//! — the reference stream, and therefore every statistic, is identical
+//! to issuing the stream directly.
+//!
+//! Run with: `cargo run --release --example bench_memsys [quick|standard|full]`
+
+use std::time::Instant;
+
+use memsys::{AccessKind, Addr, HierarchyConfig, MemorySystem};
+use prng::SimRng;
+
+/// Per-CPU private heap: 4 MB (4x the 1 MB L2 -> miss-heavy).
+const PRIVATE_LINES: u64 = (4 << 20) / 64;
+/// Per-CPU code region: 64 KB (4x the 16 KB L1I).
+const CODE_LINES: u64 = (64 << 10) / 64;
+/// Hot shared region: 64 KB of lines every CPU loads and stores.
+const SHARED_LINES: u64 = (64 << 10) / 64;
+
+/// How many references ahead of the issue cursor the stream is warmed.
+/// A reference costs on the order of 100 ns, a cold metadata fetch
+/// likewise; a handful of records of lead time hides it with room to
+/// spare, and the hints are free, so the exact depth is uncritical.
+const LOOKAHEAD: usize = 8;
+
+/// Generates one seeded pseudo-random reference; the stream is a pure
+/// function of the seed, identical for every memory-system
+/// implementation and every driver structure fed the same seed.
+#[inline]
+fn next_ref(rng: &mut SimRng, cpus: u64) -> (usize, AccessKind, Addr) {
+    let r = rng.next_u64();
+    let a = rng.next_u64();
+    // All bench shapes have power-of-two CPU counts, so masking picks the
+    // same CPU `r % cpus` would — without a hardware divide per record.
+    debug_assert!(cpus.is_power_of_two());
+    let cpu = (r & (cpus - 1)) as usize;
+    let roll = (r >> 8) % 100;
+    if roll < 40 {
+        let addr = 0x0800_0000 + (cpu as u64) * 0x1_0000 + (a % CODE_LINES) * 64;
+        (cpu, AccessKind::Ifetch, Addr(addr))
+    } else {
+        let kind = if roll < 80 {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
+        let shared = (r >> 40) % 100 < 10;
+        let addr = if shared {
+            0x0000_2000 + (a % SHARED_LINES) * 64
+        } else {
+            0x1000_0000 + (cpu as u64) * 0x40_0000 + (a % PRIVATE_LINES) * 64
+        };
+        (cpu, kind, Addr(addr))
+    }
+}
+
+struct ShapeResult {
+    name: String,
+    cpus: usize,
+    cpus_per_l2: usize,
+    refs_per_sec: f64,
+    snoop_filter_rate: f64,
+}
+
+fn bench_shape(cpus: usize, cpus_per_l2: usize, refs: u64, seed: u64) -> ShapeResult {
+    let mut b = HierarchyConfig::builder(cpus);
+    b.cpus_per_l2(cpus_per_l2);
+    let mut sys = MemorySystem::new(b.build().expect("bench shape"));
+    // Warm the caches with a prefix of the stream, then time a window.
+    let mut rng = SimRng::seed_from_u64(seed);
+    for _ in 0..refs / 4 {
+        let (cpu, kind, addr) = next_ref(&mut rng, cpus as u64);
+        sys.access(cpu, kind, addr);
+    }
+    sys.reset_stats();
+    let t0 = Instant::now();
+    // Lookahead replay: a small ring holds the next LOOKAHEAD references,
+    // each warmed when generated and issued LOOKAHEAD records later.
+    let mut ring = [(0usize, AccessKind::Load, Addr(0)); LOOKAHEAD];
+    for slot in ring.iter_mut() {
+        let r = next_ref(&mut rng, cpus as u64);
+        sys.warm(r.0, r.1, r.2);
+        *slot = r;
+    }
+    for i in 0..refs as usize {
+        let (cpu, kind, addr) = ring[i % LOOKAHEAD];
+        if (i as u64) < refs - LOOKAHEAD as u64 {
+            let r = next_ref(&mut rng, cpus as u64);
+            sys.warm(r.0, r.1, r.2);
+            ring[i % LOOKAHEAD] = r;
+        }
+        sys.access(cpu, kind, addr);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sys.stats().total_accesses(), refs);
+    let refs_per_sec = refs as f64 / secs.max(1e-9);
+    let snoop_filter_rate = sys.bus_stats().snoop_filter_rate();
+    let name = if cpus_per_l2 == 1 {
+        format!("{cpus}cpu")
+    } else {
+        format!("{cpus}cpu_shared{cpus_per_l2}")
+    };
+    println!(
+        "{name:>16}: {refs_per_sec:>12.0} refs/s  ({secs:.2} s, {} L2 misses, {:.1}% snoops filtered)",
+        sys.stats().total_l2_misses(),
+        snoop_filter_rate * 100.0,
+    );
+    ShapeResult {
+        name,
+        cpus,
+        cpus_per_l2,
+        refs_per_sec,
+        snoop_filter_rate,
+    }
+}
+
+fn main() {
+    let refs: u64 = match std::env::args().nth(1).as_deref() {
+        Some("quick") => 2_000_000,
+        Some("full") => 40_000_000,
+        _ => 10_000_000,
+    };
+    println!("streaming {refs} seeded references per shape...");
+    let shapes = [(1usize, 1usize), (4, 1), (16, 1), (16, 4)];
+    let results: Vec<ShapeResult> = shapes
+        .iter()
+        .map(|&(cpus, per)| bench_shape(cpus, per, refs, 0xB5EED))
+        .collect();
+
+    let mut json = String::from("{\n  \"bench\": \"memsys_access\",\n");
+    json.push_str(&format!("  \"refs_per_shape\": {refs},\n  \"shapes\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"cpus\": {}, \"cpus_per_l2\": {}, ",
+                "\"refs_per_sec\": {:.0}, \"snoop_filter_rate\": {:.4}}}{}\n"
+            ),
+            r.name,
+            r.cpus,
+            r.cpus_per_l2,
+            r.refs_per_sec,
+            r.snoop_filter_rate,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_memsys.json", &json).expect("write BENCH_memsys.json");
+    println!("wrote BENCH_memsys.json");
+}

@@ -53,6 +53,12 @@ fn main() {
         replay.stats.data().c2c
     );
     assert_eq!(replay.stats, live);
+    println!(
+        "replay snoops: {:>9} sent, {:>9} filtered by the sharer directory ({:.1}%)",
+        replay.bus.snoops_sent,
+        replay.bus.snoops_filtered,
+        replay.bus.snoop_filter_rate() * 100.0
+    );
     println!("replay reproduces the live window bit-for-bit.\n");
 
     // The paper's filter: keep only a processor subset, replay the

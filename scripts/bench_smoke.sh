@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Offline bench smoke: time one Standard-effort experiment-plan batch at
-# 1 worker vs all cores, writing BENCH_plan.json in the repo root.
+# 1 worker vs all cores (BENCH_plan.json), then the raw MemorySystem::access
+# throughput bench across CPU-count shapes (BENCH_memsys.json).
 #
 # Usage: scripts/bench_smoke.sh [quick|standard|full]
 #
@@ -11,11 +12,17 @@ cd "$(dirname "$0")/.."
 
 effort="${1:-standard}"
 
-echo "==> building the bench example (offline, release)"
-cargo build --release --offline --example bench_plan
+echo "==> building the bench examples (offline, release)"
+cargo build --release --offline --example bench_plan --example bench_memsys
 
 echo "==> running the plan bench at effort: ${effort}"
 ./target/release/examples/bench_plan "${effort}"
 
 echo "==> BENCH_plan.json"
 cat BENCH_plan.json
+
+echo "==> running the memsys access bench at effort: ${effort}"
+./target/release/examples/bench_memsys "${effort}"
+
+echo "==> BENCH_memsys.json"
+cat BENCH_memsys.json

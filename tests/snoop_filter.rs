@@ -1,0 +1,211 @@
+//! Differential oracle for the sharer-directory snoop filter.
+//!
+//! [`MemorySystem::new`] snoops only the L2 groups the exact directory
+//! lists as sharers; [`MemorySystem::new_broadcast`] probes every remote
+//! group, the textbook behavior. The filter's exactness claim — skipping
+//! a cache that does not hold the line cannot change any MOESI outcome —
+//! is checked here end-to-end: both systems consume identical seeded
+//! streams of mixed loads/stores/ifetches across several `cpus` ×
+//! `cpus_per_l2` shapes, with small caches so evictions, upgrades and
+//! invalidations churn constantly, and must agree on every per-access
+//! outcome, every final statistic, and the coherence state of every
+//! touched line. Protocol invariants (single writer, L1 inclusion) and a
+//! ground-truth directory audit run along the way.
+
+use java_middleware_memsim::memsys::{
+    AccessKind, Addr, CacheConfig, HierarchyConfig, LineState, MemorySystem,
+};
+use prng::SimRng;
+
+/// Small hierarchy so the working set below overflows everything: L2s a
+/// few hundred lines, L1s a couple dozen.
+fn tiny(cpus: usize, cpus_per_l2: usize) -> HierarchyConfig {
+    let mut b = HierarchyConfig::builder(cpus);
+    b.l1i(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l1d(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l2(CacheConfig::new(8 << 10, 4, 64).unwrap());
+    b.cpus_per_l2(cpus_per_l2);
+    b.build().unwrap()
+}
+
+/// One seeded reference: 35% ifetch, 40% load, 25% store, drawn from a
+/// shared region (heavy cross-L2 contention), a per-cpu private region
+/// (upgrade/eviction churn), and a hot ping-pong line.
+fn next_ref(rng: &mut SimRng, cpus: usize) -> (usize, AccessKind, Addr) {
+    let r = rng.next_u64();
+    let cpu = (r % cpus as u64) as usize;
+    let roll = (r >> 8) % 100;
+    let kind = if roll < 35 {
+        AccessKind::Ifetch
+    } else if roll < 75 {
+        AccessKind::Load
+    } else {
+        AccessKind::Store
+    };
+    let pick = (r >> 16) % 100;
+    let line = (r >> 32) % 192; // > 128-line L2: conflict misses guaranteed
+    let addr = if pick < 50 {
+        0x1000 + line * 64 // shared region
+    } else if pick < 90 {
+        0x10_0000 + (cpu as u64) * 0x1_0000 + line * 64 // private region
+    } else {
+        0x9000 // one hot contended line
+    };
+    (cpu, kind, Addr(addr))
+}
+
+/// Protocol invariants on one line: at most one dirty (M/O) copy, and an
+/// M or E copy excludes every other valid copy.
+fn check_single_writer(states: &[LineState], addr: Addr) {
+    let valid = states.iter().filter(|s| s.is_valid()).count();
+    let dirty = states.iter().filter(|s| s.is_dirty()).count();
+    let exclusive = states
+        .iter()
+        .any(|s| matches!(s, LineState::Modified | LineState::Exclusive));
+    assert!(dirty <= 1, "two dirty copies of {addr:?}: {states:?}");
+    assert!(
+        !exclusive || valid == 1,
+        "M/E copy of {addr:?} coexists with another valid copy: {states:?}"
+    );
+}
+
+/// L1 inclusion: a line valid in any of cpu's L1s must be valid in its
+/// group's L2.
+fn check_inclusion(sys: &MemorySystem, addr: Addr) {
+    let states = sys.l2_states(addr);
+    for cpu in 0..sys.cpus() {
+        if sys.l1_holds(cpu, addr) {
+            let group = sys.config().l2_group(cpu);
+            assert!(
+                states[group].is_valid(),
+                "cpu {cpu} holds {addr:?} in L1 but its L2 group {group} does not"
+            );
+        }
+    }
+}
+
+fn drive_shape(cpus: usize, cpus_per_l2: usize, steps: u64, seed: u64) {
+    let cfg = tiny(cpus, cpus_per_l2);
+    let mut filtered = MemorySystem::new(cfg);
+    let mut broadcast = MemorySystem::new_broadcast(cfg);
+    assert_eq!(filtered.snoop_filter_enabled(), cfg.l2_count() > 1);
+    assert!(!broadcast.snoop_filter_enabled());
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut touched = std::collections::BTreeSet::new();
+    for step in 0..steps {
+        let (cpu, kind, addr) = next_ref(&mut rng, cpus);
+        touched.insert(addr.0);
+        let a = filtered.access(cpu, kind, addr);
+        let b = broadcast.access(cpu, kind, addr);
+        assert_eq!(
+            a, b,
+            "outcome diverged at step {step} ({cpu} {kind} {addr:?})"
+        );
+        check_single_writer(&filtered.l2_states(addr), addr);
+        check_inclusion(&filtered, addr);
+        if step % 4096 == 0 {
+            filtered.audit_directory();
+        }
+    }
+    filtered.audit_directory();
+
+    // Every statistic the protocol produces must match. The snoop fan-out
+    // diagnostics are the one legitimate difference — the filter's whole
+    // point — so compare the protocol fields individually and check the
+    // diagnostic totals cover the same transactions.
+    assert_eq!(filtered.stats(), broadcast.stats(), "SystemStats diverged");
+    let (fb, bb) = (filtered.bus_stats(), broadcast.bus_stats());
+    assert_eq!(fb.gets, bb.gets);
+    assert_eq!(fb.getx, bb.getx);
+    assert_eq!(fb.upgrades, bb.upgrades);
+    assert_eq!(fb.snoop_copybacks, bb.snoop_copybacks);
+    assert_eq!(fb.writebacks, bb.writebacks);
+    assert_eq!(
+        fb.snoops_sent + fb.snoops_filtered,
+        bb.snoops_sent,
+        "filtered and broadcast saw different snoop opportunities"
+    );
+    if cfg.l2_count() > 1 {
+        assert!(
+            fb.snoops_filtered > 0,
+            "a contended run at {cpus} cpus should filter something"
+        );
+    }
+
+    // Final coherence state of every line either system ever touched.
+    for &raw in &touched {
+        let addr = Addr(raw);
+        assert_eq!(
+            filtered.l2_states(addr),
+            broadcast.l2_states(addr),
+            "final L2 states diverged for {addr:?}"
+        );
+        for cpu in 0..cpus {
+            assert_eq!(
+                filtered.l1_holds(cpu, addr),
+                broadcast.l1_holds(cpu, addr),
+                "final L1 residency diverged for cpu {cpu}, {addr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn filtered_matches_broadcast_1_cpu() {
+    drive_shape(1, 1, 30_000, 0xD1F);
+}
+
+#[test]
+fn filtered_matches_broadcast_2_cpus() {
+    drive_shape(2, 1, 30_000, 0xD2F);
+}
+
+#[test]
+fn filtered_matches_broadcast_4_cpus() {
+    drive_shape(4, 1, 30_000, 0xD4F);
+}
+
+#[test]
+fn filtered_matches_broadcast_16_cpus() {
+    drive_shape(16, 1, 40_000, 0xD16F);
+}
+
+#[test]
+fn filtered_matches_broadcast_16_cpus_shared_l2() {
+    drive_shape(16, 4, 40_000, 0xD164);
+}
+
+#[test]
+fn filtered_matches_broadcast_4_cpus_one_shared_l2() {
+    // Degenerate topology: a single L2 group, nothing to snoop, filter
+    // disabled — the fast path must still match broadcast exactly.
+    drive_shape(4, 4, 20_000, 0xD44);
+}
+
+#[test]
+fn default_shape_filters_most_snoops() {
+    // E6000 geometry, mostly-private traffic: the directory should absorb
+    // nearly all broadcast probes, which is the performance story.
+    let mut sys = MemorySystem::e6000(16).unwrap();
+    let mut rng = SimRng::seed_from_u64(7);
+    for _ in 0..200_000 {
+        let r = rng.next_u64();
+        let cpu = (r % 16) as usize;
+        let kind = if (r >> 8) % 4 == 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        // 1/16 of traffic shared, the rest private.
+        let addr = if (r >> 16) % 16 == 0 {
+            0x2000 + ((r >> 32) % 512) * 64
+        } else {
+            0x100_0000 + (cpu as u64) * 0x10_0000 + ((r >> 32) % 8192) * 64
+        };
+        sys.access(cpu, kind, Addr(addr));
+    }
+    let rate = sys.bus_stats().snoop_filter_rate();
+    assert!(rate > 0.8, "filter rate {rate:.3} unexpectedly low");
+    sys.audit_directory();
+}
