@@ -2,9 +2,16 @@
 //! published shapes hold.
 //!
 //! Usage: `figures [quick|standard|full] [4|5|...|16|ablations|all]`
+//!
+//! Every plan-routed experiment runs with a `RunLog` attached; the
+//! worker-occupancy record is written to `RUNLOG_figures.jsonl` on exit
+//! (render it with `simreport RUNLOG_figures.jsonl`).
+
+use std::sync::Arc;
 
 use middlesim::figures::{self, processor_axis, scaling::run_scaling_with};
 use middlesim::{Effort, ExperimentPlan};
+use probes::{Provenance, RunLog};
 
 fn effort_from(arg: Option<&str>) -> Effort {
     match arg {
@@ -32,7 +39,8 @@ fn main() {
     let effort = effort_from(args.get(1).map(|s| s.as_str()));
     let which = args.get(2).map(|s| s.as_str()).unwrap_or("all");
     let ps = processor_axis(effort);
-    let plan = ExperimentPlan::new(effort);
+    let log = Arc::new(RunLog::new());
+    let plan = ExperimentPlan::new(effort).with_run_log(Arc::clone(&log), "figures");
 
     let scaling_figs = ["4", "5", "6", "7", "8", "9"];
     if which == "all" || scaling_figs.contains(&which) {
@@ -122,5 +130,17 @@ fn main() {
         report("Ablation: object cache", oc.table(), oc.shape_violations());
         let cl = figures::ablations::run_c2c_latency(effort, 8);
         report("Ablation: c2c latency", cl.table(), cl.shape_violations());
+    }
+
+    if log.span_count() > 0 {
+        let file =
+            std::fs::File::create("RUNLOG_figures.jsonl").expect("create RUNLOG_figures.jsonl");
+        log.write_to(file, &Provenance::capture())
+            .expect("write RUNLOG_figures.jsonl");
+        eprintln!(
+            "wrote RUNLOG_figures.jsonl ({} runs, {} job spans) — render with `simreport RUNLOG_figures.jsonl`",
+            log.run_count(),
+            log.span_count()
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! `simreport` — render or validate an experiment RunLog.
+//!
+//! The simulation counterpart of reading `mpstat`/`cpustat` output: the
+//! plan runner writes a JSONL RunLog (provenance, per-run metadata, one
+//! span per job), and this binary turns it into the two tables the paper
+//! works from, or schema-checks it for CI.
+//!
+//! Usage:
+//!   simreport <runlog.jsonl>           mpstat-style worker tables plus a
+//!                                      cpustat-style counter dump
+//!   simreport --csv <runlog.jsonl>     one CSV row per job, counters as
+//!                                      trailing columns
+//!   simreport --check <runlog.jsonl>   validate the JSONL schema; exits
+//!                                      nonzero with the offending line
+//!
+//! All rendering logic lives in `probes::report`; this is the argv shim.
+
+use std::process::ExitCode;
+
+use probes::report;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: simreport [--csv | --check] <runlog.jsonl>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [path] => ("text", path),
+        [flag, path] if flag == "--csv" || flag == "--check" => (flag.as_str(), path),
+        _ => return usage(),
+    };
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simreport: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let log = match report::check(&src) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("simreport: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match mode {
+        "--check" => {
+            println!(
+                "{path}: ok ({} runs, {} job spans)",
+                log.runs.len(),
+                log.jobs.len()
+            );
+        }
+        "--csv" => print!("{}", report::render_csv(&log)),
+        _ => print!("{}", report::render_text(&log)),
+    }
+    ExitCode::SUCCESS
+}

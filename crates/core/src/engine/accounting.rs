@@ -98,6 +98,12 @@ impl Accounting {
         self.window_tx = 0;
     }
 
+    /// Total cycles charged to `mode` across all processors in the
+    /// current window (the counter-registry export).
+    pub fn mode_total(&self, mode: ExecMode) -> u64 {
+        self.modes.total(mode)
+    }
+
     /// Mode breakdown over the processors in `pset` only (the paper
     /// reports the benchmark's processor set, not the whole machine).
     pub fn pset_breakdown(&self, pset: &ProcessorSet) -> ModeBreakdown {

@@ -222,6 +222,21 @@ impl<W: Workload> Machine<W> {
         &self.mem
     }
 
+    /// The clock/mode accounting (for inspection).
+    pub fn accounting(&self) -> &Accounting {
+        &self.acct
+    }
+
+    /// Processors in the benchmark's set.
+    pub(crate) fn pset_cpus(&self) -> &[usize] {
+        self.sched.pset().cpus()
+    }
+
+    /// CPI report of one processor's timer.
+    pub(crate) fn timer_report(&self, cpu: usize) -> CpiReport {
+        self.timers[cpu].report()
+    }
+
     /// Attaches an observer; redeem the handle after the run with
     /// [`Machine::observer`].
     pub fn attach_observer<T: SimObserver>(&mut self, observer: T) -> ObserverHandle<T> {

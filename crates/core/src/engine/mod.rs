@@ -26,6 +26,7 @@ pub mod dispatch;
 pub mod gc_driver;
 pub mod kernel;
 pub mod observer;
+pub mod probe;
 pub mod trace;
 
 pub use accounting::{Accounting, WindowReport};

@@ -13,9 +13,12 @@
 //! outputs are merged in input order, and every floating-point reduction
 //! happens after the merge.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use memsys::{Addr, AddrRange};
+use probes::registry::Snapshot;
+use probes::runlog::{JobSpan, RunLog, RunMeta};
 use simstats::Summary;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::model::Workload;
@@ -84,6 +87,15 @@ impl Effort {
     pub fn cost_hint(self, system_size: usize) -> u64 {
         (self.warmup() + self.window()) * system_size.max(1) as u64
     }
+
+    /// The preset's name, as the RunLog records it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Standard => "standard",
+            Effort::Full => "full",
+        }
+    }
 }
 
 /// The claim order for cost-hinted runs: largest first, ties broken by
@@ -104,10 +116,25 @@ pub fn largest_first_order(costs: &[u64]) -> Vec<usize> {
 /// `1`, which runs inline with no pool at all. Jobs must therefore be
 /// pure functions of their input (every machine builder in this module
 /// is: the seed fully determines the run).
-#[derive(Debug, Clone, Copy)]
+///
+/// A plan may carry a [`RunLog`] (see [`ExperimentPlan::with_run_log`]):
+/// every `run_*` call then emits one `run` event plus a [`JobSpan`] per
+/// job. Spans are recorded on the worker threads as jobs finish and
+/// never touch the output slots, so logged runs stay bit-identical to
+/// unlogged ones.
+#[derive(Debug, Clone)]
 pub struct ExperimentPlan {
     effort: Effort,
     threads: usize,
+    log: Option<LogBinding>,
+    job_labels: Option<Arc<Vec<String>>>,
+}
+
+/// A RunLog plus the tag the plan's runs are recorded under.
+#[derive(Debug, Clone)]
+struct LogBinding {
+    log: Arc<RunLog>,
+    tag: String,
 }
 
 impl ExperimentPlan {
@@ -116,17 +143,40 @@ impl ExperimentPlan {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        ExperimentPlan { effort, threads }
+        ExperimentPlan {
+            effort,
+            threads,
+            log: None,
+            job_labels: None,
+        }
     }
 
     /// A strictly serial plan (no worker pool).
     pub fn serial(effort: Effort) -> Self {
-        ExperimentPlan { effort, threads: 1 }
+        ExperimentPlan::new(effort).with_threads(1)
     }
 
     /// The same plan with an explicit worker count (min 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a run log: every subsequent `run_*` call on this plan
+    /// records its spans there under `tag`. Logging observes the runner
+    /// from outside the merge path; outputs are unchanged.
+    pub fn with_run_log(mut self, log: Arc<RunLog>, tag: &str) -> Self {
+        self.log = Some(LogBinding {
+            log,
+            tag: tag.to_string(),
+        });
+        self
+    }
+
+    /// Human labels for the next batch's jobs, by input index (spans
+    /// fall back to bare indices for unlabeled batches).
+    pub fn with_job_labels(mut self, labels: Vec<String>) -> Self {
+        self.job_labels = Some(Arc::new(labels));
         self
     }
 
@@ -153,7 +203,7 @@ impl ExperimentPlan {
         O: Send,
     {
         let order: Vec<usize> = (0..inputs.len()).collect();
-        self.run_ordered(inputs, &order, job, |_| {})
+        self.run_ordered(inputs, &order, None, |i| (job(i), None), |_| {})
     }
 
     /// Like [`ExperimentPlan::run`], but jobs carry a relative cost hint
@@ -191,16 +241,49 @@ impl ExperimentPlan {
         O: Send,
     {
         let costs: Vec<u64> = inputs.iter().map(cost).collect();
-        self.run_ordered(inputs, &largest_first_order(&costs), job, on_claim)
+        self.run_ordered(
+            inputs,
+            &largest_first_order(&costs),
+            Some(&costs),
+            |i| (job(i), None),
+            on_claim,
+        )
+    }
+
+    /// [`ExperimentPlan::run_hinted`] for jobs that also sample their
+    /// counters: the job returns `(output, Option<Snapshot>)`, and the
+    /// snapshot rides on the job's [`JobSpan`] when a run log is
+    /// attached (it is dropped otherwise). Outputs are merged exactly
+    /// as in the other runners.
+    pub fn run_probed<I, O>(
+        &self,
+        inputs: &[I],
+        cost: impl Fn(&I) -> u64,
+        job: impl Fn(&I) -> (O, Option<Snapshot>) + Sync,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        let costs: Vec<u64> = inputs.iter().map(cost).collect();
+        self.run_ordered(
+            inputs,
+            &largest_first_order(&costs),
+            Some(&costs),
+            job,
+            |_| {},
+        )
     }
 
     /// The shared engine: claims inputs in `order`, writes outputs into
-    /// their input-order slots.
+    /// their input-order slots. Jobs return `(output, counter snapshot)`;
+    /// the snapshot goes to the run log (if any), never into a slot.
     fn run_ordered<I, O>(
         &self,
         inputs: &[I],
         order: &[usize],
-        job: impl Fn(&I) -> O + Sync,
+        costs: Option<&[u64]>,
+        job: impl Fn(&I) -> (O, Option<Snapshot>) + Sync,
         on_claim: impl Fn(usize) + Sync,
     ) -> Vec<O>
     where
@@ -208,11 +291,41 @@ impl ExperimentPlan {
         O: Send,
     {
         debug_assert_eq!(order.len(), inputs.len());
+        let run = self.log.as_ref().map(|b| {
+            b.log.begin_run(RunMeta {
+                tag: b.tag.clone(),
+                effort: self.effort.name().to_string(),
+                threads: self.threads,
+                jobs: inputs.len(),
+            })
+        });
+        // Span emission: called on whichever thread finished the job,
+        // after the output is produced but independent of the slot
+        // writes the merge reads from.
+        let emit =
+            |id: usize, worker: usize, claim: usize, wall: f64, counters: Option<Snapshot>| {
+                let (Some(binding), Some(run)) = (&self.log, run) else {
+                    return;
+                };
+                binding.log.record_span(JobSpan {
+                    run,
+                    id,
+                    label: self.job_labels.as_ref().and_then(|l| l.get(id).cloned()),
+                    worker,
+                    claim,
+                    cost_hint: costs.map(|c| c[id]),
+                    wall_secs: wall,
+                    counters,
+                });
+            };
         if self.threads <= 1 || inputs.len() <= 1 {
             let mut slots: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
-            for &i in order {
+            for (claim, &i) in order.iter().enumerate() {
                 on_claim(i);
-                slots[i] = Some(job(&inputs[i]));
+                let started = Instant::now();
+                let (out, counters) = job(&inputs[i]);
+                emit(i, 0, claim, started.elapsed().as_secs_f64(), counters);
+                slots[i] = Some(out);
             }
             return slots
                 .into_iter()
@@ -227,21 +340,29 @@ impl ExperimentPlan {
         let slots: Vec<Mutex<Option<O>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(inputs.len());
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
+            for worker in 0..workers {
+                let emit = &emit;
+                let job = &job;
+                let on_claim = &on_claim;
+                let next = &next;
+                let slots = &slots;
+                s.spawn(move || loop {
                     let claimed = {
                         let mut n = next.lock().expect("claim counter poisoned");
                         if *n >= order.len() {
                             None
                         } else {
-                            let i = order[*n];
+                            let claim = *n;
+                            let i = order[claim];
                             *n += 1;
                             on_claim(i);
-                            Some(i)
+                            Some((i, claim))
                         }
                     };
-                    let Some(i) = claimed else { break };
-                    let out = job(&inputs[i]);
+                    let Some((i, claim)) = claimed else { break };
+                    let started = Instant::now();
+                    let (out, counters) = job(&inputs[i]);
+                    emit(i, worker, claim, started.elapsed().as_secs_f64(), counters);
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -451,6 +572,41 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn attached_log_records_all_spans_without_changing_outputs() {
+        let inputs: Vec<u64> = (0..12).collect();
+        let bare = ExperimentPlan::serial(Effort::Quick)
+            .with_threads(3)
+            .run_hinted(&inputs, |&x| x, |&x| x * 3);
+
+        let log = Arc::new(RunLog::new());
+        let plan = ExperimentPlan::serial(Effort::Quick)
+            .with_threads(3)
+            .with_run_log(Arc::clone(&log), "test")
+            .with_job_labels(inputs.iter().map(|x| format!("job-{x}")).collect());
+        let logged = plan.run_hinted(&inputs, |&x| x, |&x| x * 3);
+        assert_eq!(bare, logged);
+        assert_eq!(log.run_count(), 1);
+        assert_eq!(log.span_count(), inputs.len());
+
+        // Probed runs attach snapshots; outputs still merge identically.
+        let probed = plan.run_probed(&inputs, |&x| x, |&x| (x * 3, None));
+        assert_eq!(bare, probed);
+        assert_eq!(log.run_count(), 2);
+        assert_eq!(log.span_count(), 2 * inputs.len());
+
+        let jsonl = log.to_jsonl(&probes::Provenance {
+            git_rev: "test".into(),
+            hostname: "test".into(),
+            cpu_count: 1,
+            timestamp: 0,
+        });
+        let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
+        assert_eq!(parsed.jobs.len(), 2 * inputs.len());
+        assert!(parsed.jobs.iter().all(|j| j.cost_hint.is_some()));
+        assert_eq!(parsed.jobs[0].label.as_deref(), Some("job-11"));
     }
 
     #[test]

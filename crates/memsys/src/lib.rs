@@ -37,6 +37,7 @@ pub mod config;
 pub mod directory;
 pub mod linestats;
 mod mem;
+pub mod probe;
 pub mod protocol;
 pub mod sink;
 pub mod stats;

@@ -1,0 +1,220 @@
+//! Counter-registry descriptors for the memory-system stats structs.
+//!
+//! Each implementation destructures its struct exhaustively, so adding
+//! a field to [`SystemStats`]/[`BusStats`]/[`LineStats`] without
+//! registering it here is a compile error — the registry cannot drift
+//! from the structs it describes. Descriptor tables are `'static`; the
+//! hot access path is untouched (sampling only *reads* the counters).
+//!
+//! Name schema (dot-separated, `cpustat`-style):
+//! - `mem.{ifetch,load,store}.*` and `mem.writebacks` — [`SystemStats`];
+//! - `bus.*` — [`BusStats`] (the paper's `EC_snoop_cb` is `bus.snoop_cb`);
+//! - `lines.*` — [`LineStats`] window summaries.
+
+use probes::registry::{ratio_ppm, CounterDesc, CounterKind, CounterSet, Snapshot};
+
+use crate::bus::BusStats;
+use crate::linestats::LineStats;
+use crate::stats::{KindCounters, SystemStats};
+use crate::system::MemorySystem;
+
+const fn count(name: &'static str) -> CounterDesc {
+    CounterDesc::new(name, CounterKind::Count)
+}
+
+macro_rules! kind_descs {
+    ($prefix:literal) => {
+        [
+            count(concat!("mem.", $prefix, ".accesses")),
+            count(concat!("mem.", $prefix, ".l1_misses")),
+            count(concat!("mem.", $prefix, ".l2_misses")),
+            count(concat!("mem.", $prefix, ".upgrades")),
+            count(concat!("mem.", $prefix, ".c2c")),
+        ]
+    };
+}
+
+static SYSTEM_STATS_DESCS: [CounterDesc; 18] = {
+    let [a0, a1, a2, a3, a4] = kind_descs!("ifetch");
+    let [b0, b1, b2, b3, b4] = kind_descs!("load");
+    let [c0, c1, c2, c3, c4] = kind_descs!("store");
+    [
+        a0,
+        a1,
+        a2,
+        a3,
+        a4,
+        b0,
+        b1,
+        b2,
+        b3,
+        b4,
+        c0,
+        c1,
+        c2,
+        c3,
+        c4,
+        count("mem.writebacks"),
+        // Per-cpu vectors export as totals: static descriptor tables
+        // cannot depend on machine size, and the totals double as
+        // cross-checks against the per-kind sums.
+        count("mem.l2_miss.percpu_total"),
+        count("mem.c2c.percpu_total"),
+    ]
+};
+
+impl CounterSet for SystemStats {
+    fn descriptors(&self) -> &'static [CounterDesc] {
+        &SYSTEM_STATS_DESCS
+    }
+
+    fn values(&self, out: &mut Vec<u64>) {
+        let SystemStats {
+            ifetch,
+            load,
+            store,
+            writebacks,
+            l2_misses_by_cpu,
+            c2c_by_cpu,
+        } = self;
+        for k in [ifetch, load, store] {
+            let KindCounters {
+                accesses,
+                l1_misses,
+                l2_misses,
+                upgrades,
+                c2c,
+            } = k;
+            out.extend([*accesses, *l1_misses, *l2_misses, *upgrades, *c2c]);
+        }
+        out.push(*writebacks);
+        out.push(l2_misses_by_cpu.iter().sum());
+        out.push(c2c_by_cpu.iter().sum());
+    }
+}
+
+static BUS_STATS_DESCS: [CounterDesc; 8] = [
+    count("bus.gets"),
+    count("bus.getx"),
+    count("bus.upgrades"),
+    // The UltraSPARC II event the paper samples as `EC_snoop_cb`.
+    count("bus.snoop_cb"),
+    count("bus.writebacks"),
+    count("bus.snoops_sent"),
+    count("bus.snoops_filtered"),
+    CounterDesc::new("bus.snoop_filter_ppm", CounterKind::Ratio),
+];
+
+impl CounterSet for BusStats {
+    fn descriptors(&self) -> &'static [CounterDesc] {
+        &BUS_STATS_DESCS
+    }
+
+    fn values(&self, out: &mut Vec<u64>) {
+        let BusStats {
+            gets,
+            getx,
+            upgrades,
+            snoop_copybacks,
+            writebacks,
+            snoops_sent,
+            snoops_filtered,
+        } = self;
+        out.extend([
+            *gets,
+            *getx,
+            *upgrades,
+            *snoop_copybacks,
+            *writebacks,
+            *snoops_sent,
+            *snoops_filtered,
+            ratio_ppm(self.snoop_filter_rate()),
+        ]);
+    }
+}
+
+static LINE_STATS_DESCS: [CounterDesc; 3] = [
+    count("lines.touched"),
+    count("lines.communicating"),
+    count("lines.c2c_total"),
+];
+
+impl CounterSet for LineStats {
+    fn descriptors(&self) -> &'static [CounterDesc] {
+        &LINE_STATS_DESCS
+    }
+
+    // Window summaries of the per-line maps; the maps themselves stay
+    // behind the Figures 14/15 accessors. These reset with the window,
+    // so diff within a window only.
+    fn values(&self, out: &mut Vec<u64>) {
+        out.extend([
+            self.touched_lines(),
+            self.communicating_lines(),
+            self.total_c2c(),
+        ]);
+    }
+}
+
+impl MemorySystem {
+    /// Appends this system's counters (stats, bus, per-line summaries
+    /// when tracking is enabled) to a snapshot under construction.
+    pub fn record_counters(&self, snap: &mut Snapshot) {
+        snap.record(self.stats());
+        snap.record(self.bus_stats());
+        if let Some(lines) = self.line_stats() {
+            snap.record(lines);
+        }
+    }
+
+    /// A flat, ordered snapshot of every counter this system maintains.
+    pub fn counters(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        self.record_counters(&mut snap);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::stats::AccessKind;
+
+    #[test]
+    fn memory_system_snapshot_matches_struct_fields() {
+        let mut sys = MemorySystem::e6000(2).unwrap();
+        sys.access(0, AccessKind::Store, Addr(0x1000));
+        sys.access(1, AccessKind::Load, Addr(0x1000)); // snoop copyback
+        sys.access(0, AccessKind::Ifetch, Addr(0x8000));
+
+        let snap = sys.counters();
+        assert!(snap.names_unique());
+        assert_eq!(snap.get("mem.store.accesses"), Some(1));
+        assert_eq!(snap.get("mem.load.c2c"), Some(1));
+        assert_eq!(
+            snap.get("bus.snoop_cb"),
+            Some(sys.bus_stats().snoop_copybacks)
+        );
+        assert_eq!(
+            snap.get("mem.l2_miss.percpu_total"),
+            Some(sys.stats().total_l2_misses())
+        );
+        assert_eq!(
+            snap.get("mem.c2c.percpu_total"),
+            Some(sys.stats().total_c2c())
+        );
+    }
+
+    #[test]
+    fn snapshots_diff_across_work() {
+        let mut sys = MemorySystem::e6000(2).unwrap();
+        sys.access(0, AccessKind::Load, Addr(0x40));
+        let before = sys.counters();
+        sys.access(1, AccessKind::Load, Addr(0x40_000));
+        let after = sys.counters();
+        let d = after.delta(&before);
+        assert_eq!(d.get("mem.load.accesses"), Some(1));
+        assert_eq!(d.get("mem.ifetch.accesses"), Some(0));
+    }
+}

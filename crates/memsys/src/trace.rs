@@ -18,6 +18,8 @@
 //! capture order, which is what makes the coherence outcomes (and
 //! therefore miss/upgrade/cache-to-cache counts) bit-identical.
 
+use std::io::{self, Read, Write};
+
 use crate::addr::Addr;
 use crate::sink::MemSink;
 use crate::stats::AccessKind;
@@ -391,6 +393,211 @@ impl SystemTrace {
             }
         }
     }
+
+    /// Writes the capture in the compact on-disk format: a
+    /// magic+version header, then one varint-packed record per event.
+    ///
+    /// Multiprocessor windows run to tens of millions of events at 16
+    /// in-memory bytes each; on disk a typical reference takes 5–7
+    /// bytes (one tag byte folding source and kind, then LEB128 cpu
+    /// and address). The writer buffers internally, so handing it an
+    /// unbuffered `File` is fine.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(DISK_BUF);
+        buf.extend_from_slice(&TRACE_MAGIC);
+        buf.push(TRACE_VERSION);
+        put_varint(&mut buf, self.cpus as u64);
+        put_varint(&mut buf, self.events.len() as u64);
+        for e in &self.events {
+            match *e {
+                SystemTraceEvent::WindowReset => buf.push(TAG_WINDOW_RESET),
+                SystemTraceEvent::Instructions { cpu, n } => {
+                    buf.push(TAG_INSTRUCTIONS);
+                    put_varint(&mut buf, cpu as u64);
+                    put_varint(&mut buf, n);
+                }
+                SystemTraceEvent::Ref {
+                    cpu,
+                    source,
+                    kind,
+                    addr,
+                } => {
+                    buf.push(TAG_REF_BASE + 3 * source_code(source) + kind_code(kind));
+                    put_varint(&mut buf, cpu as u64);
+                    put_varint(&mut buf, addr.0);
+                }
+            }
+            if buf.len() >= DISK_BUF - 16 {
+                w.write_all(&buf)?;
+                buf.clear();
+            }
+        }
+        w.write_all(&buf)?;
+        w.flush()
+    }
+
+    /// Reads a capture written by [`SystemTrace::write_to`].
+    ///
+    /// Rejects (with `InvalidData`) anything that is not a well-formed
+    /// trace: wrong magic, unknown version, unknown record tag, a
+    /// truncated stream, or trailing bytes after the declared events.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<SystemTrace> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let mut c = Cursor {
+            bytes: &bytes,
+            pos: 0,
+        };
+        let magic = c.take(TRACE_MAGIC.len())?;
+        if magic != TRACE_MAGIC {
+            return Err(bad_data("not a trace file (bad magic)"));
+        }
+        let version = c.byte()?;
+        if version != TRACE_VERSION {
+            return Err(bad_data("unsupported trace version"));
+        }
+        let cpus = c.varint()? as usize;
+        let count = c.varint()?;
+        let mut out = SystemTrace::new();
+        out.events = Vec::with_capacity(count.min(1 << 24) as usize);
+        for _ in 0..count {
+            let tag = c.byte()?;
+            let event = match tag {
+                TAG_WINDOW_RESET => SystemTraceEvent::WindowReset,
+                TAG_INSTRUCTIONS => {
+                    let cpu = cursor_cpu(&mut c)?;
+                    let n = c.varint()?;
+                    SystemTraceEvent::Instructions { cpu, n }
+                }
+                TAG_REF_BASE..=TAG_REF_LAST => {
+                    let code = tag - TAG_REF_BASE;
+                    let cpu = cursor_cpu(&mut c)?;
+                    let addr = Addr(c.varint()?);
+                    SystemTraceEvent::Ref {
+                        cpu,
+                        source: source_from(code / 3),
+                        kind: kind_from(code % 3),
+                        addr,
+                    }
+                }
+                _ => return Err(bad_data("unknown trace record tag")),
+            };
+            if let SystemTraceEvent::Instructions { cpu, .. } | SystemTraceEvent::Ref { cpu, .. } =
+                event
+            {
+                out.cpus = out.cpus.max(cpu as usize + 1);
+            }
+            out.events.push(event);
+        }
+        if c.pos != bytes.len() {
+            return Err(bad_data("trailing bytes after the declared events"));
+        }
+        if out.cpus > cpus {
+            return Err(bad_data("trace references a cpu beyond its header"));
+        }
+        out.cpus = cpus;
+        Ok(out)
+    }
+}
+
+/// On-disk format constants: `b"MTRC"` magic, a version byte, then the
+/// varint-packed header and records [`SystemTrace::write_to`] describes.
+const TRACE_MAGIC: [u8; 4] = *b"MTRC";
+const TRACE_VERSION: u8 = 1;
+const TAG_WINDOW_RESET: u8 = 0;
+const TAG_INSTRUCTIONS: u8 = 1;
+/// Ref tags fold `(source, kind)` into `TAG_REF_BASE + 3*source + kind`.
+const TAG_REF_BASE: u8 = 2;
+const TAG_REF_LAST: u8 = TAG_REF_BASE + 8;
+/// Internal writer buffer: one syscall per ~64 KiB, not per event.
+const DISK_BUF: usize = 64 << 10;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("SystemTrace: {msg}"))
+}
+
+fn source_code(s: AccessSource) -> u8 {
+    match s {
+        AccessSource::Workload => 0,
+        AccessSource::Collector => 1,
+        AccessSource::KernelTick => 2,
+    }
+}
+
+fn source_from(code: u8) -> AccessSource {
+    match code {
+        0 => AccessSource::Workload,
+        1 => AccessSource::Collector,
+        _ => AccessSource::KernelTick,
+    }
+}
+
+fn kind_code(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Ifetch => 0,
+        AccessKind::Load => 1,
+        AccessKind::Store => 2,
+    }
+}
+
+fn kind_from(code: u8) -> AccessKind {
+    match code {
+        0 => AccessKind::Ifetch,
+        1 => AccessKind::Load,
+        _ => AccessKind::Store,
+    }
+}
+
+/// LEB128: seven payload bits per byte, high bit = continuation.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn byte(&mut self) -> io::Result<u8> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| bad_data("truncated stream"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| bad_data("truncated stream"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> io::Result<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b < 0x80 {
+                return Ok(v);
+            }
+        }
+        Err(bad_data("varint overruns 64 bits"))
+    }
+}
+
+fn cursor_cpu(c: &mut Cursor<'_>) -> io::Result<u16> {
+    u16::try_from(c.varint()?).map_err(|_| bad_data("cpu index exceeds u16"))
 }
 
 /// A sink that records everything it sees into a [`Trace`], optionally
@@ -592,6 +799,65 @@ mod tests {
         // transfer, exactly as in the live run.
         assert_eq!(sys.stats().total_c2c(), 0);
         assert_eq!(sys.stats().load.accesses, 1);
+    }
+
+    #[test]
+    fn disk_roundtrip_is_identity() {
+        let t = system_sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        // Header (4+1+1+1) plus ~2-4 bytes per event: far below the
+        // 16-byte in-memory representation.
+        assert!(bytes.len() < t.len() * 16);
+        let back = SystemTrace::read_from(&bytes[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_empty_and_wide_values() {
+        let mut t = SystemTrace::new();
+        t.record_instructions(999, u64::MAX);
+        t.record_ref(
+            0,
+            AccessSource::Collector,
+            AccessKind::Store,
+            Addr(u64::MAX),
+        );
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+        assert_eq!(SystemTrace::read_from(&bytes[..]).unwrap(), t);
+
+        let empty = SystemTrace::new();
+        let mut bytes = Vec::new();
+        empty.write_to(&mut bytes).unwrap();
+        assert_eq!(SystemTrace::read_from(&bytes[..]).unwrap(), empty);
+    }
+
+    #[test]
+    fn disk_reader_rejects_corruption() {
+        let t = system_sample();
+        let mut bytes = Vec::new();
+        t.write_to(&mut bytes).unwrap();
+
+        let err = |b: &[u8]| SystemTrace::read_from(b).unwrap_err().to_string();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(err(&bad).contains("bad magic"));
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(err(&bad).contains("version"));
+        // Truncation.
+        assert!(err(&bytes[..bytes.len() - 1]).contains("truncated"));
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(err(&bad).contains("trailing"));
+        // Unknown tag (first record starts right after the header).
+        let mut bad = bytes.clone();
+        bad[7] = 0xff;
+        assert!(err(&bad).contains("tag"));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! # probes — cpustat/mpstat-grade telemetry for the simulator
+//!
+//! The paper's contribution *is* its instrumentation: UltraSPARC II
+//! hardware counters read through Solaris `cpustat`, per-CPU mode
+//! accounting through `mpstat`, and per-line communication statistics.
+//! This crate is the reproduction's counterpart — one uniform surface
+//! over every counter the simulation crates maintain:
+//!
+//! - [`registry`] — the counter registry: each stats struct publishes a
+//!   static descriptor table (dot-separated name, kind) and can be
+//!   sampled into a flat, ordered [`Snapshot`] of `name → u64` pairs,
+//!   with deltas between snapshots. Registries *read* the existing
+//!   fields; hot loops keep bumping plain integers, so attaching the
+//!   registry changes nothing on the access path.
+//! - [`runlog`] — the run event log: the experiment-plan runner emits
+//!   one structured span per job (id, label, worker, claim order, cost
+//!   hint, wall time, end-of-job counter snapshot) to a [`RunLog`] sink,
+//!   serialized as JSONL. Emission happens on the worker threads,
+//!   outside the input-order merge, so logged runs stay bit-identical
+//!   to unlogged ones.
+//! - [`report`] — `mpstat`-style per-run worker tables and a
+//!   `cpustat`-style counter dump rendered from a RunLog, in human text
+//!   and machine CSV, plus the JSONL schema check behind
+//!   `simreport --check`.
+//! - [`provenance`] — host/commit/config metadata (`git_rev`,
+//!   `hostname`, `cpu_count`, `timestamp`) stamped into every RunLog
+//!   and `BENCH_*.json` so archived results say where they came from.
+//! - [`json`] — the tiny JSON reader/writer the above share (the
+//!   workspace is dependency-free by design; no serde).
+
+pub mod json;
+pub mod provenance;
+pub mod registry;
+pub mod report;
+pub mod runlog;
+
+pub use json::{Json, JsonError};
+pub use provenance::Provenance;
+pub use registry::{CounterDesc, CounterKind, CounterSet, Snapshot};
+pub use runlog::{JobSpan, RunLog, RunMeta};

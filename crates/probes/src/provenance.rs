@@ -1,0 +1,126 @@
+//! Host/commit provenance stamped into RunLogs and `BENCH_*.json`.
+//!
+//! Archived benchmark numbers are only comparable if they say where
+//! they came from; before this module `bench_smoke.sh` silently
+//! overwrote `BENCH_memsys.json` with no record of host or commit.
+
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Where and when a result was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Short git revision of the working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Host the run executed on, or `"unknown"`.
+    pub hostname: String,
+    /// Hardware parallelism available to the run.
+    pub cpu_count: usize,
+    /// UNIX timestamp (seconds) when the provenance was captured.
+    pub timestamp: u64,
+}
+
+impl Provenance {
+    /// Captures provenance from the current environment. Every probe
+    /// degrades to a placeholder rather than failing: provenance must
+    /// never abort a benchmark.
+    pub fn capture() -> Self {
+        Provenance {
+            git_rev: git_rev().unwrap_or_else(|| "unknown".into()),
+            hostname: hostname().unwrap_or_else(|| "unknown".into()),
+            cpu_count: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            timestamp: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// The provenance as a bare JSON object (for embedding in a
+    /// `BENCH_*.json` document).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}}}",
+            crate::json::quote(&self.git_rev),
+            crate::json::quote(&self.hostname),
+            self.cpu_count,
+            self.timestamp,
+        )
+    }
+
+    /// The provenance as a RunLog JSONL event line.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"ev\":\"provenance\",\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}}}",
+            crate::json::quote(&self.git_rev),
+            crate::json::quote(&self.hostname),
+            self.cpu_count,
+            self.timestamp,
+        )
+    }
+}
+
+fn git_rev() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev)
+    }
+}
+
+fn hostname() -> Option<String> {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        if !h.is_empty() {
+            return Some(h);
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return Some(h);
+        }
+    }
+    let out = Command::new("hostname").output().ok()?;
+    let h = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if h.is_empty() {
+        None
+    } else {
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    #[test]
+    fn capture_never_fails_and_serializes() {
+        let p = Provenance::capture();
+        assert!(p.cpu_count >= 1);
+
+        let obj = parse(&p.to_json()).unwrap();
+        assert!(obj.get("git_rev").and_then(Json::as_str).is_some());
+        assert_eq!(
+            obj.get("cpu_count").and_then(Json::as_u64),
+            Some(p.cpu_count as u64)
+        );
+
+        let line = parse(&p.to_json_line()).unwrap();
+        assert_eq!(line.get("ev").and_then(Json::as_str), Some("provenance"));
+        assert_eq!(
+            line.get("timestamp").and_then(Json::as_u64),
+            Some(p.timestamp)
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! RunLog rendering: the logic behind the `simreport` binary.
+//!
+//! Three consumers share this module: `simreport` (human text and CSV),
+//! `simreport --check` (the JSONL schema validation CI runs over the
+//! bench-smoke RunLog), and tests. The binary stays a thin argv shim.
+//!
+//! The text renderer mirrors the paper's two instruments:
+//! - an `mpstat`-style table — one row per *worker* instead of per CPU,
+//!   with jobs executed, busy seconds, and occupancy share, plus a
+//!   largest-first scheduling audit (were higher-cost jobs claimed
+//!   earlier, and did the hints predict wall time?);
+//! - a `cpustat`-style dump — the per-job counter snapshots summed over
+//!   each run, one `name value unit` row per counter.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// A validated RunLog document.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedLog {
+    /// The provenance event, if the log carried one.
+    pub provenance: Option<ProvEntry>,
+    /// Run metadata lines, indexed by run id.
+    pub runs: Vec<RunEntry>,
+    /// Job spans, in file order.
+    pub jobs: Vec<JobEntry>,
+}
+
+/// The `provenance` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvEntry {
+    /// Short git revision recorded at run time.
+    pub git_rev: String,
+    /// Host the log was produced on.
+    pub hostname: String,
+    /// Hardware parallelism of that host.
+    pub cpu_count: u64,
+    /// UNIX timestamp (seconds) of the capture.
+    pub timestamp: u64,
+}
+
+/// One `run` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunEntry {
+    /// Run id (dense, starting at 0).
+    pub run: u64,
+    /// Caller-chosen tag, e.g. `"parallel"`.
+    pub tag: String,
+    /// Effort preset name.
+    pub effort: String,
+    /// Configured worker threads.
+    pub threads: u64,
+    /// Jobs in the batch.
+    pub jobs: u64,
+}
+
+/// One `job` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEntry {
+    /// Run the job belongs to.
+    pub run: u64,
+    /// Input-order job index.
+    pub id: u64,
+    /// Optional human label.
+    pub label: Option<String>,
+    /// Worker that executed the job.
+    pub worker: u64,
+    /// Claim-order position (0 = claimed first).
+    pub claim: u64,
+    /// Scheduling cost hint, if the run was hinted.
+    pub cost_hint: Option<u64>,
+    /// Measured wall seconds of the job body.
+    pub wall_secs: f64,
+    /// End-of-job counter snapshot (`name → value`), in snapshot order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Parses and schema-checks a RunLog JSONL document.
+///
+/// Errors name the offending line (1-based) and what was wrong — this
+/// is the whole of `simreport --check`.
+pub fn check(src: &str) -> Result<ParsedLog, String> {
+    let mut log = ParsedLog::default();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ev = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing string field \"ev\""))?;
+        match ev {
+            "provenance" => {
+                if log.provenance.is_some() {
+                    return Err(format!("line {lineno}: duplicate provenance event"));
+                }
+                log.provenance = Some(ProvEntry {
+                    git_rev: req_str(&v, "git_rev", lineno)?,
+                    hostname: req_str(&v, "hostname", lineno)?,
+                    cpu_count: req_u64(&v, "cpu_count", lineno)?,
+                    timestamp: req_u64(&v, "timestamp", lineno)?,
+                });
+            }
+            "run" => {
+                let entry = RunEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    tag: req_str(&v, "tag", lineno)?,
+                    effort: req_str(&v, "effort", lineno)?,
+                    threads: req_u64(&v, "threads", lineno)?,
+                    jobs: req_u64(&v, "jobs", lineno)?,
+                };
+                if entry.run != log.runs.len() as u64 {
+                    return Err(format!(
+                        "line {lineno}: run ids must be dense; expected {}, got {}",
+                        log.runs.len(),
+                        entry.run
+                    ));
+                }
+                log.runs.push(entry);
+            }
+            "job" => {
+                let entry = JobEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    label: v.get("label").and_then(Json::as_str).map(String::from),
+                    worker: req_u64(&v, "worker", lineno)?,
+                    claim: req_u64(&v, "claim", lineno)?,
+                    cost_hint: v.get("cost_hint").and_then(Json::as_u64),
+                    wall_secs: v
+                        .get("wall_secs")
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| format!("line {lineno}: missing number \"wall_secs\""))?,
+                    counters: match v.get("counters") {
+                        None => Vec::new(),
+                        Some(c) => c
+                            .members()
+                            .ok_or_else(|| format!("line {lineno}: \"counters\" is not an object"))?
+                            .iter()
+                            .map(|(name, val)| {
+                                val.as_u64().map(|n| (name.clone(), n)).ok_or_else(|| {
+                                    format!("line {lineno}: counter {name:?} is not a u64")
+                                })
+                            })
+                            .collect::<Result<_, _>>()?,
+                    },
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: job references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                let meta = &log.runs[entry.run as usize];
+                if entry.id >= meta.jobs || entry.claim >= meta.jobs {
+                    return Err(format!(
+                        "line {lineno}: job id/claim out of range for a {}-job run",
+                        meta.jobs
+                    ));
+                }
+                log.jobs.push(entry);
+            }
+            other => return Err(format!("line {lineno}: unknown event type {other:?}")),
+        }
+    }
+    if log.provenance.is_none() {
+        return Err("log has no provenance event".into());
+    }
+    for (run, meta) in log.runs.iter().enumerate() {
+        let seen = log.jobs.iter().filter(|j| j.run == run as u64).count() as u64;
+        if seen != meta.jobs {
+            return Err(format!(
+                "run {run} declares {} jobs but the log has {seen} spans for it",
+                meta.jobs
+            ));
+        }
+    }
+    Ok(log)
+}
+
+fn req_str(v: &Json, key: &str, lineno: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or_else(|| format!("line {lineno}: missing string field {key:?}"))
+}
+
+fn req_u64(v: &Json, key: &str, lineno: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {lineno}: missing integer field {key:?}"))
+}
+
+/// Renders the human-readable report: provenance header, then per run
+/// an `mpstat`-style worker table and a `cpustat`-style counter dump.
+pub fn render_text(log: &ParsedLog) -> String {
+    let mut out = String::new();
+    if let Some(p) = &log.provenance {
+        let _ = writeln!(
+            out,
+            "runlog: rev {} on {} ({} cpus), t={}",
+            p.git_rev, p.hostname, p.cpu_count, p.timestamp
+        );
+    }
+    for (run, meta) in log.runs.iter().enumerate() {
+        let jobs: Vec<&JobEntry> = log.jobs.iter().filter(|j| j.run == run as u64).collect();
+        let _ = writeln!(
+            out,
+            "\nrun {run} [{}]  effort={} threads={} jobs={}",
+            meta.tag, meta.effort, meta.threads, meta.jobs
+        );
+        render_worker_table(&mut out, meta, &jobs);
+        render_hint_audit(&mut out, &jobs);
+        render_counter_sum(&mut out, &jobs);
+    }
+    out
+}
+
+/// The `mpstat` analogue: one row per worker with occupancy.
+fn render_worker_table(out: &mut String, meta: &RunEntry, jobs: &[&JobEntry]) {
+    let workers = meta
+        .threads
+        .max(jobs.iter().map(|j| j.worker + 1).max().unwrap_or(1)) as usize;
+    let total_busy: f64 = jobs.iter().map(|j| j.wall_secs).sum();
+    let _ = writeln!(out, "  worker   jobs    busy_s   share%  avg_job_s");
+    for w in 0..workers {
+        let mine: Vec<&&JobEntry> = jobs.iter().filter(|j| j.worker == w as u64).collect();
+        let busy: f64 = mine.iter().map(|j| j.wall_secs).sum();
+        let share = if total_busy > 0.0 {
+            100.0 * busy / total_busy
+        } else {
+            0.0
+        };
+        let avg = if mine.is_empty() {
+            0.0
+        } else {
+            busy / mine.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {w:>6}  {:>5}  {busy:>8.3}  {share:>6.1}  {avg:>9.3}",
+            mine.len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  {:>6}  {:>5}  {total_busy:>8.3}",
+        "total",
+        jobs.len()
+    );
+}
+
+/// The largest-first audit: were higher-hint jobs claimed earlier, and
+/// did the hints track measured wall time?
+fn render_hint_audit(out: &mut String, jobs: &[&JobEntry]) {
+    let mut hinted: Vec<&&JobEntry> = jobs.iter().filter(|j| j.cost_hint.is_some()).collect();
+    if hinted.len() < 2 {
+        return;
+    }
+    hinted.sort_by_key(|j| j.claim);
+    let pairs = hinted.len() - 1;
+    let ordered = hinted
+        .windows(2)
+        .filter(|w| w[0].cost_hint >= w[1].cost_hint)
+        .count();
+    // Hint quality: agreement between hint order and wall-time order
+    // over all pairs (a Kendall-style concordance count).
+    let mut concordant = 0usize;
+    let mut comparable = 0usize;
+    for i in 0..hinted.len() {
+        for j in (i + 1)..hinted.len() {
+            let (a, b) = (hinted[i], hinted[j]);
+            if a.cost_hint == b.cost_hint || a.wall_secs == b.wall_secs {
+                continue;
+            }
+            comparable += 1;
+            if (a.cost_hint > b.cost_hint) == (a.wall_secs > b.wall_secs) {
+                concordant += 1;
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  largest-first: {ordered}/{pairs} adjacent claims non-increasing; hint/wall concordance {concordant}/{comparable}"
+    );
+}
+
+/// The `cpustat` analogue: counter snapshots aggregated over the run.
+/// Monotonic counters sum; registry ratio counters (the `_ppm` naming
+/// convention) average instead — a sum of per-job ratios means nothing.
+fn render_counter_sum(out: &mut String, jobs: &[&JobEntry]) {
+    let mut names: Vec<&str> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    let mut seen: Vec<u64> = Vec::new();
+    for j in jobs {
+        for (name, v) in &j.counters {
+            match names.iter().position(|n| n == name) {
+                Some(i) => {
+                    totals[i] += v;
+                    seen[i] += 1;
+                }
+                None => {
+                    names.push(name);
+                    totals.push(*v);
+                    seen.push(1);
+                }
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    let _ = writeln!(out, "  counters (aggregated over {} jobs):", jobs.len());
+    for ((name, total), n) in names.iter().zip(&totals).zip(&seen) {
+        if name.ends_with("_ppm") {
+            let mean = total / n.max(&1);
+            let _ = writeln!(out, "    {name:<width$}  {mean:>16} (mean)");
+        } else {
+            let _ = writeln!(out, "    {name:<width$}  {total:>16}");
+        }
+    }
+}
+
+/// Renders the log as job-level CSV. Fixed columns first, then one
+/// column per counter name in first-seen order (blank when a job has
+/// no snapshot).
+pub fn render_csv(log: &ParsedLog) -> String {
+    let mut counter_names: Vec<&str> = Vec::new();
+    for j in &log.jobs {
+        for (name, _) in &j.counters {
+            if !counter_names.iter().any(|n| n == name) {
+                counter_names.push(name);
+            }
+        }
+    }
+    let mut out = String::from("run,tag,id,label,worker,claim,cost_hint,wall_secs");
+    for name in &counter_names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for j in &log.jobs {
+        let tag = log
+            .runs
+            .get(j.run as usize)
+            .map(|r| r.tag.as_str())
+            .unwrap_or("");
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{:.6}",
+            j.run,
+            csv_field(tag),
+            j.id,
+            csv_field(j.label.as_deref().unwrap_or("")),
+            j.worker,
+            j.claim,
+            j.cost_hint.map(|h| h.to_string()).unwrap_or_default(),
+            j.wall_secs
+        );
+        for name in &counter_names {
+            out.push(',');
+            if let Some((_, v)) = j.counters.iter().find(|(n, _)| n == name) {
+                out.push_str(&v.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Provenance;
+    use crate::runlog::{JobSpan, RunLog, RunMeta};
+
+    fn sample_log() -> String {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "parallel".into(),
+            effort: "quick".into(),
+            threads: 2,
+            jobs: 3,
+        });
+        for (id, (worker, claim, hint, wall)) in
+            [(0u64, 2u64, 30u64, 0.3), (1, 0, 50, 0.5), (0, 1, 40, 0.4)]
+                .into_iter()
+                .enumerate()
+        {
+            log.record_span(JobSpan {
+                run,
+                id,
+                label: Some(format!("seed-{id}")),
+                worker: worker as usize,
+                claim: claim as usize,
+                cost_hint: Some(hint),
+                wall_secs: wall,
+                counters: None,
+            });
+        }
+        log.to_jsonl(&Provenance {
+            git_rev: "abc123".into(),
+            hostname: "h".into(),
+            cpu_count: 2,
+            timestamp: 1,
+        })
+    }
+
+    #[test]
+    fn check_accepts_runlog_output() {
+        let parsed = check(&sample_log()).unwrap();
+        assert_eq!(parsed.runs.len(), 1);
+        assert_eq!(parsed.jobs.len(), 3);
+        assert_eq!(parsed.provenance.as_ref().unwrap().git_rev, "abc123");
+    }
+
+    #[test]
+    fn check_rejects_missing_fields_and_bad_refs() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        // Job before its run event.
+        let bad = format!(
+            "{prov}\n{{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("before its run event"));
+        // Run declares more jobs than the log holds.
+        let short = format!(
+            "{prov}\n{{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":2}}"
+        );
+        assert!(check(&short).unwrap_err().contains("declares 2 jobs"));
+        // Not JSON at all.
+        assert!(check("not json").unwrap_err().contains("line 1"));
+        // No provenance.
+        assert!(check("").unwrap_err().contains("no provenance"));
+    }
+
+    #[test]
+    fn text_report_has_worker_table_and_audit() {
+        let parsed = check(&sample_log()).unwrap();
+        let text = render_text(&parsed);
+        assert!(text.contains("rev abc123 on h"));
+        assert!(text.contains("run 0 [parallel]"));
+        assert!(text.contains("worker   jobs"));
+        // Claims 0,1,2 carry hints 50,40,30: perfectly largest-first,
+        // and wall times track hints exactly.
+        assert!(text.contains("largest-first: 2/2 adjacent claims non-increasing"));
+        assert!(text.contains("concordance 3/3"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_job() {
+        let parsed = check(&sample_log()).unwrap();
+        let csv = render_csv(&parsed);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "run,tag,id,label,worker,claim,cost_hint,wall_secs"
+        );
+        // The serializer orders spans by claim; claim 0 was job id 1.
+        assert!(lines[1].starts_with("0,parallel,1,seed-1,"));
+    }
+
+    #[test]
+    fn counters_sum_and_widen_csv() {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "t".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 2,
+        });
+        for id in 0..2usize {
+            log.record_span(JobSpan {
+                run,
+                id,
+                label: None,
+                worker: 0,
+                claim: id,
+                cost_hint: None,
+                wall_secs: 0.1,
+                counters: {
+                    use crate::registry::{CounterDesc, CounterKind, CounterSet, Snapshot};
+                    struct One(u64);
+                    impl CounterSet for One {
+                        fn descriptors(&self) -> &'static [CounterDesc] {
+                            const D: [CounterDesc; 1] =
+                                [CounterDesc::new("bus.gets", CounterKind::Count)];
+                            &D
+                        }
+                        fn values(&self, out: &mut Vec<u64>) {
+                            let One(v) = self;
+                            out.push(*v);
+                        }
+                    }
+                    Some(Snapshot::of(&One(10 + id as u64)))
+                },
+            });
+        }
+        let text = log.to_jsonl(&Provenance {
+            git_rev: "r".into(),
+            hostname: "h".into(),
+            cpu_count: 1,
+            timestamp: 0,
+        });
+        let parsed = check(&text).unwrap();
+        let report = render_text(&parsed);
+        assert!(report.contains("counters (aggregated over 2 jobs):"));
+        assert!(report.contains("bus.gets"));
+        assert!(report.contains("21"));
+        let csv = render_csv(&parsed);
+        assert!(csv.lines().next().unwrap().ends_with(",bus.gets"));
+        assert!(csv.contains(",10\n") || csv.contains(",10\r\n"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The run event log: structured spans from the experiment-plan runner.
+//!
+//! The plan runner (core's `ExperimentPlan`) is the machine that
+//! produces every figure, and before this crate it was a black box: you
+//! could see merged outputs but not which worker ran which job, in what
+//! order jobs were claimed, or how the largest-first cost hints compared
+//! to measured wall time. A [`RunLog`] is the shared sink the runner
+//! reports into — one [`RunMeta`] per `run_*` call, one [`JobSpan`] per
+//! job — serialized as JSONL for `simreport` and CI artifacts.
+//!
+//! Determinism contract: workers record spans *as jobs finish*, through
+//! a mutex that is never held while a job computes, and nothing in this
+//! module touches the output slots the runner merges in input order.
+//! Attaching a log must leave experiment outputs bit-identical
+//! (`tests/determinism.rs` enforces this).
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+use crate::json;
+use crate::provenance::Provenance;
+use crate::registry::Snapshot;
+
+/// Metadata for one `run_*` invocation on a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Caller-chosen label, e.g. `"serial"` / `"parallel"`.
+    pub tag: String,
+    /// The plan's effort preset name.
+    pub effort: String,
+    /// Worker threads the plan was configured with.
+    pub threads: usize,
+    /// Number of jobs in the batch.
+    pub jobs: usize,
+}
+
+/// One job execution inside a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpan {
+    /// Which run (as returned by [`RunLog::begin_run`]) this span
+    /// belongs to.
+    pub run: usize,
+    /// Input-order index of the job.
+    pub id: usize,
+    /// Human label for the job, when the caller supplied one.
+    pub label: Option<String>,
+    /// Worker thread that executed the job (0 for the serial path).
+    pub worker: usize,
+    /// Position in the claim order: 0 was claimed first.
+    pub claim: usize,
+    /// The scheduling cost hint, if the run was hinted.
+    pub cost_hint: Option<u64>,
+    /// Measured wall time of the job body, in seconds.
+    pub wall_secs: f64,
+    /// End-of-job counter snapshot, when the job captured one.
+    pub counters: Option<Snapshot>,
+}
+
+/// A thread-safe sink for run metadata and job spans.
+///
+/// One log may span several plan runs (bench_plan logs its serial and
+/// parallel passes into the same file). Interior mutability keeps the
+/// runner's signature simple: workers share `&RunLog`.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    runs: Vec<RunMeta>,
+    spans: Vec<JobSpan>,
+}
+
+impl RunLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Registers a new run and returns its id for subsequent spans.
+    pub fn begin_run(&self, meta: RunMeta) -> usize {
+        let mut inner = self.inner.lock().expect("run log poisoned");
+        inner.runs.push(meta);
+        inner.runs.len() - 1
+    }
+
+    /// Records one finished job. Called from worker threads; the lock
+    /// is held only for the push, never while a job computes.
+    pub fn record_span(&self, span: JobSpan) {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .spans
+            .push(span);
+    }
+
+    /// Number of runs begun so far.
+    pub fn run_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").runs.len()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").spans.len()
+    }
+
+    /// Serializes the log as JSONL: one `provenance` line, one `run`
+    /// line per run, one `job` line per span. Spans are ordered by
+    /// `(run, claim)` so the file is stable across thread timing —
+    /// parallel runs race only in *completion* order, which is the one
+    /// order we deliberately do not record.
+    pub fn write_to<W: Write>(&self, mut w: W, prov: &Provenance) -> io::Result<()> {
+        let inner = self.inner.lock().expect("run log poisoned");
+        writeln!(w, "{}", prov.to_json_line())?;
+        for (run, meta) in inner.runs.iter().enumerate() {
+            writeln!(
+                w,
+                "{{\"ev\":\"run\",\"run\":{run},\"tag\":{},\"effort\":{},\"threads\":{},\"jobs\":{}}}",
+                json::quote(&meta.tag),
+                json::quote(&meta.effort),
+                meta.threads,
+                meta.jobs,
+            )?;
+        }
+        let mut spans: Vec<&JobSpan> = inner.spans.iter().collect();
+        spans.sort_by_key(|s| (s.run, s.claim, s.id));
+        for s in spans {
+            writeln!(w, "{}", span_json(s))?;
+        }
+        Ok(())
+    }
+
+    /// The serialized JSONL as a string (testing / small logs).
+    pub fn to_jsonl(&self, prov: &Provenance) -> String {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf, prov)
+            .expect("write to Vec cannot fail");
+        String::from_utf8(buf).expect("JSONL is UTF-8")
+    }
+}
+
+fn span_json(s: &JobSpan) -> String {
+    let mut line = String::new();
+    write!(
+        line,
+        "{{\"ev\":\"job\",\"run\":{},\"id\":{},\"worker\":{},\"claim\":{}",
+        s.run, s.id, s.worker, s.claim
+    )
+    .expect("writing to String cannot fail");
+    if let Some(label) = &s.label {
+        write!(line, ",\"label\":{}", json::quote(label)).unwrap();
+    }
+    if let Some(hint) = s.cost_hint {
+        write!(line, ",\"cost_hint\":{hint}").unwrap();
+    }
+    write!(line, ",\"wall_secs\":{:.6}", s.wall_secs).unwrap();
+    if let Some(counters) = &s.counters {
+        write!(line, ",\"counters\":{}", counters.to_json()).unwrap();
+    }
+    line.push('}');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::registry::{CounterDesc, CounterKind, CounterSet};
+
+    struct One(u64);
+    impl CounterSet for One {
+        fn descriptors(&self) -> &'static [CounterDesc] {
+            const D: [CounterDesc; 1] = [CounterDesc::new("one.v", CounterKind::Count)];
+            &D
+        }
+        fn values(&self, out: &mut Vec<u64>) {
+            let One(v) = self;
+            out.push(*v);
+        }
+    }
+
+    fn test_prov() -> Provenance {
+        Provenance {
+            git_rev: "deadbeef".into(),
+            hostname: "testhost".into(),
+            cpu_count: 4,
+            timestamp: 1_700_000_000,
+        }
+    }
+
+    #[test]
+    fn serializes_runs_and_spans_as_jsonl() {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "parallel".into(),
+            effort: "quick".into(),
+            threads: 2,
+            jobs: 2,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 1,
+            label: Some("seed-1".into()),
+            worker: 1,
+            claim: 1,
+            cost_hint: Some(10),
+            wall_secs: 0.25,
+            counters: Some(Snapshot::of(&One(7))),
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: None,
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.5,
+            counters: None,
+        });
+
+        let text = log.to_jsonl(&test_prov());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+
+        let prov = parse(lines[0]).unwrap();
+        assert_eq!(prov.get("ev").and_then(Json::as_str), Some("provenance"));
+        assert_eq!(prov.get("git_rev").and_then(Json::as_str), Some("deadbeef"));
+
+        let meta = parse(lines[1]).unwrap();
+        assert_eq!(meta.get("ev").and_then(Json::as_str), Some("run"));
+        assert_eq!(meta.get("tag").and_then(Json::as_str), Some("parallel"));
+        assert_eq!(meta.get("jobs").and_then(Json::as_u64), Some(2));
+
+        // Spans come out claim-ordered regardless of recording order.
+        let first = parse(lines[2]).unwrap();
+        assert_eq!(first.get("claim").and_then(Json::as_u64), Some(0));
+        assert_eq!(first.get("id").and_then(Json::as_u64), Some(0));
+        assert_eq!(first.get("label"), None);
+        assert_eq!(first.get("counters"), None);
+
+        let second = parse(lines[3]).unwrap();
+        assert_eq!(second.get("label").and_then(Json::as_str), Some("seed-1"));
+        assert_eq!(second.get("cost_hint").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            second
+                .get("counters")
+                .and_then(|c| c.get("one.v"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+    }
+
+    use crate::json::Json;
+
+    #[test]
+    fn log_is_shareable_across_threads() {
+        let log = std::sync::Arc::new(RunLog::new());
+        let run = log.begin_run(RunMeta {
+            tag: "t".into(),
+            effort: "quick".into(),
+            threads: 4,
+            jobs: 8,
+        });
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for j in 0..2 {
+                        log.record_span(JobSpan {
+                            run,
+                            id: w * 2 + j,
+                            label: None,
+                            worker: w,
+                            claim: w * 2 + j,
+                            cost_hint: None,
+                            wall_secs: 0.0,
+                            counters: None,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(log.span_count(), 8);
+    }
+}

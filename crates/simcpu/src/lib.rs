@@ -35,6 +35,7 @@
 pub mod counters;
 pub mod latency;
 pub mod pipeline;
+pub mod probe;
 pub mod storebuf;
 
 pub use counters::{CounterSample, IntervalSampler};

@@ -140,6 +140,10 @@ fn main() {
         .collect();
 
     let mut json = String::from("{\n  \"bench\": \"memsys_access\",\n");
+    json.push_str(&format!(
+        "  \"provenance\": {},\n",
+        probes::Provenance::capture().to_json()
+    ));
     json.push_str(&format!("  \"refs_per_shape\": {refs},\n  \"shapes\": [\n"));
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

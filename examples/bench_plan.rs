@@ -7,11 +7,18 @@
 //! between the two runs before any timing is reported, so the speedup
 //! number can never come from divergent work.
 //!
+//! Both passes run with a `RunLog` attached and counter snapshots taken
+//! at job end (`run_probed`), so the bench also produces
+//! `RUNLOG_plan.jsonl` — the input `simreport` renders and CI
+//! schema-checks. `BENCH_plan.json` carries host/commit provenance.
+//!
 //! Run with: `cargo run --release --example bench_plan [quick|standard|full]`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use middlesim::{jbb_machine, measure, Effort, ExperimentPlan};
+use probes::{Provenance, RunLog};
 
 fn main() {
     let effort = match std::env::args().nth(1).as_deref() {
@@ -24,13 +31,19 @@ fn main() {
         .iter()
         .flat_map(|&p| (1..=2u64).map(move |s| (p, s)))
         .collect();
+    let labels: Vec<String> = jobs
+        .iter()
+        .map(|&(p, s)| format!("jbb-p{p}-s{s}"))
+        .collect();
+    let log = Arc::new(RunLog::new());
     let run = |plan: &ExperimentPlan| {
-        plan.run_hinted(
+        plan.run_probed(
             &jobs,
             |&(p, _)| effort.cost_hint(p),
             |&(p, s)| {
                 let mut m = jbb_machine(p, 2 * p, s, effort);
-                measure(&mut m, effort).throughput()
+                let report = measure(&mut m, effort);
+                (report.throughput(), Some(m.counters()))
             },
         )
     };
@@ -45,11 +58,16 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let serial = run(&ExperimentPlan::serial(effort));
+    let serial = run(&ExperimentPlan::serial(effort)
+        .with_run_log(Arc::clone(&log), "serial")
+        .with_job_labels(labels.clone()));
     let serial_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = run(&ExperimentPlan::serial(effort).with_threads(workers));
+    let parallel = run(&ExperimentPlan::serial(effort)
+        .with_threads(workers)
+        .with_run_log(Arc::clone(&log), "parallel")
+        .with_job_labels(labels));
     let parallel_secs = t1.elapsed().as_secs_f64();
 
     let identical = serial
@@ -62,10 +80,17 @@ fn main() {
     println!("serial:   {serial_secs:.2} s");
     println!("parallel: {parallel_secs:.2} s  ({speedup:.2}x, results bit-identical)");
 
+    let prov = Provenance::capture();
+    let runlog_file = std::fs::File::create("RUNLOG_plan.jsonl").expect("create RUNLOG_plan.jsonl");
+    log.write_to(runlog_file, &prov)
+        .expect("write RUNLOG_plan.jsonl");
+    println!("wrote RUNLOG_plan.jsonl ({} job spans)", log.span_count());
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"experiment_plan\",\n",
+            "  \"provenance\": {},\n",
             "  \"effort\": \"{:?}\",\n",
             "  \"jobs\": {},\n",
             "  \"workers\": {},\n",
@@ -75,6 +100,7 @@ fn main() {
             "  \"bit_identical\": {}\n",
             "}}\n"
         ),
+        prov.to_json(),
         effort,
         jobs.len(),
         workers,

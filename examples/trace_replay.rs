@@ -7,9 +7,14 @@
 //! reduction the paper applies to isolate the application-server tier —
 //! and replays both halves as one batch on the experiment plan.
 //!
-//! Run with: `cargo run --release --example trace_replay`
+//! Run with: `cargo run --release --example trace_replay [archive.mtrc]`
+//!
+//! With a path argument the capture is also archived in the compact
+//! on-disk format (`SystemTrace::write_to`), reloaded, and the replay
+//! runs from the reloaded copy — the paper's capture-once, simulate-many
+//! workflow.
 
-use memsys::{Addr, AddrRange};
+use memsys::{Addr, AddrRange, SystemTrace};
 use middlesim::engine::TraceObserver;
 use middlesim::{replay_trace, replay_traces, Effort, ExperimentPlan, Machine, MachineConfig};
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
@@ -29,7 +34,7 @@ fn main() {
     let start = m.time();
     m.run_until(start + 8 * MCYCLES);
 
-    let trace = m.observer(handle).trace().clone();
+    let mut trace = m.observer(handle).trace().clone();
     let live = m.memory().stats().clone();
     println!(
         "captured {} references / {} instructions ({} in-window)",
@@ -37,6 +42,22 @@ fn main() {
         trace.instructions(),
         trace.window_instructions()
     );
+
+    // Optional archive step: write the capture to disk, reload it, and
+    // replay from the reloaded copy.
+    if let Some(path) = std::env::args().nth(1) {
+        let file = std::fs::File::create(&path).expect("create trace archive");
+        trace.write_to(file).expect("write trace archive");
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let reloaded = SystemTrace::read_from(std::fs::File::open(&path).expect("open archive"))
+            .expect("read trace archive");
+        assert_eq!(reloaded, trace, "disk round-trip must be the identity");
+        println!(
+            "archived to {path}: {bytes} bytes ({:.1} bytes/event vs 16 in memory); reload is identical",
+            bytes as f64 / trace.len().max(1) as f64
+        );
+        trace = reloaded;
+    }
 
     println!("replaying into a fresh memory system...");
     let replay = replay_trace(&trace, m.memory().config());

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Offline bench smoke: time one Standard-effort experiment-plan batch at
-# 1 worker vs all cores (BENCH_plan.json), then the raw MemorySystem::access
-# throughput bench across CPU-count shapes (BENCH_memsys.json).
+# 1 worker vs all cores (BENCH_plan.json + RUNLOG_plan.jsonl), then the
+# raw MemorySystem::access throughput bench across CPU-count shapes
+# (BENCH_memsys.json). Both BENCH jsons carry host/commit provenance;
+# the RunLog is schema-checked and rendered with simreport.
 #
 # Usage: scripts/bench_smoke.sh [quick|standard|full]
 #
@@ -12,14 +14,21 @@ cd "$(dirname "$0")/.."
 
 effort="${1:-standard}"
 
-echo "==> building the bench examples (offline, release)"
+echo "==> building the bench examples and simreport (offline, release)"
 cargo build --release --offline --example bench_plan --example bench_memsys
+cargo build --release --offline -p middlesim --bin simreport
 
 echo "==> running the plan bench at effort: ${effort}"
 ./target/release/examples/bench_plan "${effort}"
 
 echo "==> BENCH_plan.json"
 cat BENCH_plan.json
+
+echo "==> simreport --check RUNLOG_plan.jsonl"
+./target/release/simreport --check RUNLOG_plan.jsonl
+
+echo "==> simreport RUNLOG_plan.jsonl"
+./target/release/simreport RUNLOG_plan.jsonl
 
 echo "==> running the memsys access bench at effort: ${effort}"
 ./target/release/examples/bench_memsys "${effort}"

@@ -21,4 +21,15 @@ cargo test -q --offline
 echo "==> cargo test --workspace -q (all crates, offline)"
 cargo test --workspace -q --offline
 
+echo "==> bench smoke (quick) + simreport over its RunLog"
+scripts/bench_smoke.sh quick
+
+# bench_smoke already ran `simreport --check`; render the machine-readable
+# artifact CI uploads next to the BENCH jsons and prove the mpstat-style
+# table renders from a real RunLog.
+./target/release/simreport --csv RUNLOG_plan.jsonl > SIMREPORT_plan.csv
+./target/release/simreport RUNLOG_plan.jsonl | grep -q "worker   jobs" \
+    || { echo "simreport text report is missing the worker table"; exit 1; }
+echo "==> SIMREPORT_plan.csv ($(wc -l < SIMREPORT_plan.csv) rows)"
+
 echo "CI gate passed."

@@ -6,10 +6,11 @@
 //! how many worker threads claim the jobs.
 
 use std::collections::HashSet;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use memsys::{Addr, AddrRange};
 use middlesim::{ExperimentPlan, Machine, MachineConfig, WindowReport};
+use probes::RunLog;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
 const MCYCLES: u64 = 1_000_000;
@@ -58,6 +59,76 @@ fn parallel_runner_matches_serial_bit_for_bit() {
             "{threads}-thread run diverged from the serial run"
         );
     }
+}
+
+/// Observability must be free: the same batch run bare, with a RunLog
+/// attached (`run_with`-style plain runs and `run_hinted` cost-hinted
+/// runs), and with per-job counter snapshots (`run_probed`) produces
+/// bit-identical outputs at every worker count — span emission lives
+/// outside the input-order merge.
+#[test]
+fn run_log_attachment_leaves_outputs_bit_identical() {
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let cost = |&(p, _): &(usize, u64)| middlesim::Effort::Quick.cost_hint(p);
+
+    let bare_plain =
+        ExperimentPlan::serial(middlesim::Effort::Quick).run(&jobs, |&(p, s)| measure(p, s));
+    let bare_hinted =
+        ExperimentPlan::serial(middlesim::Effort::Quick)
+            .run_hinted(&jobs, cost, |&(p, s)| measure(p, s));
+    assert_eq!(bare_plain, bare_hinted);
+
+    let log = Arc::new(RunLog::new());
+    for threads in [1, 2, 4] {
+        let plan = ExperimentPlan::serial(middlesim::Effort::Quick)
+            .with_threads(threads)
+            .with_run_log(Arc::clone(&log), "determinism")
+            .with_job_labels(jobs.iter().map(|&(p, s)| format!("p{p}-s{s}")).collect());
+        let logged = plan.run_hinted(&jobs, cost, |&(p, s)| measure(p, s));
+        assert_eq!(
+            bare_plain, logged,
+            "{threads}-thread logged run diverged from the bare run"
+        );
+        let probed = plan.run_probed(&jobs, cost, |&(p, s)| {
+            let mut m = jbb(p, s);
+            m.run_until(10 * MCYCLES);
+            m.begin_measurement();
+            let start = m.time();
+            m.run_until(start + 20 * MCYCLES);
+            (m.window_report(), Some(m.counters()))
+        });
+        assert_eq!(
+            bare_plain, probed,
+            "{threads}-thread probed run diverged from the bare run"
+        );
+    }
+
+    // Every job of every logged run produced exactly one span, and the
+    // serialized log passes the simreport schema check.
+    assert_eq!(log.run_count(), 6);
+    assert_eq!(log.span_count(), 6 * jobs.len());
+    let jsonl = log.to_jsonl(&probes::Provenance {
+        git_rev: "test".into(),
+        hostname: "test".into(),
+        cpu_count: 4,
+        timestamp: 0,
+    });
+    let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
+    assert!(parsed
+        .jobs
+        .iter()
+        .all(|j| j.label.is_some() && j.cost_hint.is_some()));
+    // run_probed spans carry the counter snapshots; the plain hinted
+    // runs carry none.
+    let probed_spans = parsed
+        .jobs
+        .iter()
+        .filter(|j| !j.counters.is_empty())
+        .count();
+    assert_eq!(probed_spans, 3 * jobs.len());
 }
 
 /// The official SPECjbb run protocol — speculative ramp rounds on the

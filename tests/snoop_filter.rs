@@ -183,6 +183,52 @@ fn filtered_matches_broadcast_4_cpus_one_shared_l2() {
     drive_shape(4, 4, 20_000, 0xD44);
 }
 
+/// The filter-rate invariant through the counter registry: on every
+/// differential shape, `bus.snoops_sent + bus.snoops_filtered` of the
+/// filtered system equals the broadcast system's probe count (its
+/// `bus.snoops_sent`; nothing is ever filtered there), and the
+/// registered `bus.snoop_filter_ppm` ratio reproduces
+/// [`java_middleware_memsim::memsys::BusStats::snoop_filter_rate`].
+#[test]
+fn snapshot_reports_the_filter_invariant() {
+    for (cpus, cpus_per_l2, seed) in [(2usize, 1usize, 0xA2u64), (4, 1, 0xA4), (16, 4, 0xA16)] {
+        let cfg = tiny(cpus, cpus_per_l2);
+        let mut filtered = MemorySystem::new(cfg);
+        let mut broadcast = MemorySystem::new_broadcast(cfg);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..20_000 {
+            let (cpu, kind, addr) = next_ref(&mut rng, cpus);
+            filtered.access(cpu, kind, addr);
+            broadcast.access(cpu, kind, addr);
+        }
+        let fs = filtered.counters();
+        let bs = broadcast.counters();
+        let sent = fs.get("bus.snoops_sent").unwrap();
+        let skipped = fs.get("bus.snoops_filtered").unwrap();
+        assert_eq!(
+            sent + skipped,
+            bs.get("bus.snoops_sent").unwrap(),
+            "{cpus}x{cpus_per_l2}: filtered + sent must equal the broadcast probe count"
+        );
+        assert_eq!(
+            bs.get("bus.snoops_filtered"),
+            Some(0),
+            "a broadcast system never filters"
+        );
+        let total = sent + skipped;
+        let expect_ppm = if total == 0 {
+            0
+        } else {
+            (skipped as f64 / total as f64 * 1e6).round() as u64
+        };
+        assert_eq!(
+            fs.get("bus.snoop_filter_ppm"),
+            Some(expect_ppm),
+            "registered ratio must match the raw counters"
+        );
+    }
+}
+
 #[test]
 fn default_shape_filters_most_snoops() {
     // E6000 geometry, mostly-private traffic: the directory should absorb
