@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use middlesim::figures::{self, processor_axis, scaling::run_scaling_with};
 use middlesim::{Effort, ExperimentPlan};
+use probes::runlog::{JobSpan, RunMeta};
 use probes::{Provenance, RunLog};
 
 fn effort_from(arg: Option<&str>) -> Effort {
@@ -77,13 +78,33 @@ fn main() {
 
     if which == "all" || which == "10" {
         eprintln!("running figure 10 trace...");
+        let started = std::time::Instant::now();
         let f = figures::fig10::run(effort, 8);
         println!(
-            "## Figure 10 summary: c2c/bucket outside GC = {:.0}, during GC = {:.0} ({} GCs)",
+            "## Figure 10 summary: c2c/Mcycle outside GC = {:.1}, during GC = {:.1} ({} GCs)",
             f.rate_outside_gc(),
             f.rate_during_gc(),
             f.gc_count
         );
+        // The sampled series goes into the shared log as its own run so
+        // `simreport --simstat RUNLOG_figures.jsonl` can render it.
+        let run = log.begin_run(RunMeta {
+            tag: "figures".into(),
+            effort: effort.name().into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: Some("fig10".into()),
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: started.elapsed().as_secs_f64(),
+            counters: None,
+        });
+        log.record_intervals(f.records(run, 0));
         report("Figure 10", f.table(), f.shape_violations());
     }
 
@@ -132,15 +153,16 @@ fn main() {
         report("Ablation: c2c latency", cl.table(), cl.shape_violations());
     }
 
-    if log.span_count() > 0 {
+    if log.span_count() > 0 || log.interval_count() > 0 {
         let file =
             std::fs::File::create("RUNLOG_figures.jsonl").expect("create RUNLOG_figures.jsonl");
         log.write_to(file, &Provenance::capture())
             .expect("write RUNLOG_figures.jsonl");
         eprintln!(
-            "wrote RUNLOG_figures.jsonl ({} runs, {} job spans) — render with `simreport RUNLOG_figures.jsonl`",
+            "wrote RUNLOG_figures.jsonl ({} runs, {} job spans, {} intervals) — render with `simreport RUNLOG_figures.jsonl`",
             log.run_count(),
-            log.span_count()
+            log.span_count(),
+            log.interval_count()
         );
     }
 }

@@ -10,6 +10,12 @@
 //!                                      cpustat-style counter dump
 //!   simreport --csv <runlog.jsonl>     one CSV row per job, counters as
 //!                                      trailing columns
+//!   simreport --simstat <runlog.jsonl> mpstat-style interval table with
+//!                                      sparklines, plus histogram
+//!                                      percentile tables
+//!   simreport --simstat-csv <runlog.jsonl>
+//!                                      one CSV row per sampled interval,
+//!                                      counter deltas as columns
 //!   simreport --check <runlog.jsonl>   validate the JSONL schema; exits
 //!                                      nonzero with the offending line
 //!
@@ -20,15 +26,17 @@ use std::process::ExitCode;
 use probes::report;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: simreport [--csv | --check] <runlog.jsonl>");
+    eprintln!("usage: simreport [--csv | --simstat | --simstat-csv | --check] <runlog.jsonl>");
     ExitCode::from(2)
 }
+
+const MODES: &[&str] = &["--csv", "--simstat", "--simstat-csv", "--check"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (mode, path) = match args.as_slice() {
         [path] => ("text", path),
-        [flag, path] if flag == "--csv" || flag == "--check" => (flag.as_str(), path),
+        [flag, path] if MODES.contains(&flag.as_str()) => (flag.as_str(), path),
         _ => return usage(),
     };
 
@@ -50,12 +58,16 @@ fn main() -> ExitCode {
     match mode {
         "--check" => {
             println!(
-                "{path}: ok ({} runs, {} job spans)",
+                "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms)",
                 log.runs.len(),
-                log.jobs.len()
+                log.jobs.len(),
+                log.intervals.len(),
+                log.hists.len()
             );
         }
         "--csv" => print!("{}", report::render_csv(&log)),
+        "--simstat" => print!("{}", report::render_simstat(&log)),
+        "--simstat-csv" => print!("{}", report::render_interval_csv(&log)),
         _ => print!("{}", report::render_text(&log)),
     }
     ExitCode::SUCCESS

@@ -11,8 +11,9 @@
 //! the paper sees cache-to-cache transfers even with the benchmark bound
 //! to one processor (Figure 8).
 
-use memsys::{AccessKind, Addr, HierarchyConfig, MemSink, MemorySystem};
+use memsys::{AccessKind, Addr, HierarchyConfig, HitLevel, LatencyCosts, MemSink, MemorySystem};
 use prng::SimRng;
+use probes::Histogram;
 use simcpu::{CpiReport, CpuTimer, LatencyTable, PipelineParams};
 use sysos::modes::ExecMode;
 use sysos::tlb::{Tlb, TlbConfig};
@@ -42,8 +43,10 @@ pub struct MachineConfig {
     pub tick_period: u64,
     /// Busy cycles charged per tick handler.
     pub tick_cost: u64,
-    /// Cycle width of one timeline bucket (Figure 10's "100 ms").
-    pub timeline_bucket: u64,
+    /// Default cycle width of one interval sample — what an attached
+    /// `IntervalSampler` should use unless an experiment picks its own
+    /// (Figure 10's "100 ms").
+    pub sample_interval: u64,
     /// Scheduler time quantum in cycles (Solaris TS-class preemption).
     /// A running thread is preempted at the next step boundary once its
     /// quantum expires and another thread is ready.
@@ -74,7 +77,7 @@ impl MachineConfig {
             seed: 1,
             tick_period: 250_000,
             tick_cost: 1_500,
-            timeline_bucket: 24_800_000, // 100 ms at 248 MHz
+            sample_interval: 24_800_000, // 100 ms at 248 MHz
             quantum: 40_000_000,         // ~160 ms (compute-bound TS threads)
             ctx_switch_cost: 3_000,
             rechoose: 0,
@@ -119,6 +122,9 @@ pub struct Machine<W: Workload> {
     sched: Scheduler,
     gc: GcDriver,
     observers: ObserverSet,
+    /// Next virtual time an attached `IntervalSampler` wants the
+    /// counter tree snapshotted (`u64::MAX` when nothing samples).
+    next_sample: u64,
 }
 
 /// Sink wiring one step's references into the memory system and a CPU
@@ -202,6 +208,7 @@ impl<W: Workload> Machine<W> {
             sched,
             gc: GcDriver::new(),
             observers: ObserverSet::new(),
+            next_sample: u64::MAX,
             workload,
             cfg,
         }
@@ -238,9 +245,63 @@ impl<W: Workload> Machine<W> {
     }
 
     /// Attaches an observer; redeem the handle after the run with
-    /// [`Machine::observer`].
+    /// [`Machine::observer`]. An observer that asks for interval
+    /// sampling ([`SimObserver::interval_cycles`]) is baselined with
+    /// the current counter tree immediately.
     pub fn attach_observer<T: SimObserver>(&mut self, observer: T) -> ObserverHandle<T> {
-        self.observers.attach(observer)
+        let samples = observer.interval_cycles().is_some();
+        let handle = self.observers.attach(observer);
+        if samples {
+            let now = self.time();
+            let snap = self.counters();
+            self.observers.get_mut(handle).on_counter_sample(now, &snap);
+            self.schedule_sample(now);
+        }
+        handle
+    }
+
+    /// Recomputes the next sampling boundary after `now`.
+    fn schedule_sample(&mut self, now: u64) {
+        self.next_sample = match self.observers.min_interval() {
+            Some(w) => (now / w + 1) * w,
+            None => u64::MAX,
+        };
+    }
+
+    /// Enables the machine's latency histograms: memory-access latency
+    /// (costs from the machine's own latency table) and per-store drain
+    /// time on every processor. Both reset with `begin_measurement`.
+    pub fn enable_latency_hists(&mut self) {
+        let lat = self.cfg.latency;
+        self.mem.enable_latency_hist(LatencyCosts {
+            l1: lat.stall_for(HitLevel::L1),
+            l2: lat.stall_for(HitLevel::L2),
+            upgrade: lat.stall_for(HitLevel::Upgrade),
+            c2c: lat.stall_for(HitLevel::CacheToCache),
+            memory: lat.stall_for(HitLevel::Memory),
+        });
+        for t in &mut self.timers {
+            t.enable_drain_hist();
+        }
+    }
+
+    /// The memory-access latency histogram, if enabled.
+    pub fn latency_hist(&self) -> Option<&Histogram> {
+        self.mem.latency_hist()
+    }
+
+    /// The store drain-time histogram merged over the benchmark's
+    /// processors, if enabled.
+    pub fn drain_hist(&self) -> Option<Histogram> {
+        let mut merged = Histogram::new();
+        let mut any = false;
+        for &c in self.sched.pset().cpus() {
+            if let Some(h) = self.timers[c].drain_hist() {
+                merged.merge(h);
+                any = true;
+            }
+        }
+        any.then_some(merged)
     }
 
     /// The observer behind `handle`.
@@ -424,6 +485,15 @@ impl<W: Workload> Machine<W> {
                 self.os_tick(at);
                 self.next_tick += self.cfg.tick_period;
             }
+            // Interval sampling: when virtual time crossed a boundary,
+            // snapshot the whole counter tree once and deliver it. The
+            // snapshot only *reads* state, so sampling cannot perturb
+            // the run (determinism.rs proves bit-identity).
+            if now >= self.next_sample {
+                let snap = self.counters();
+                self.observers.counter_sample(now, &snap);
+                self.schedule_sample(now);
+            }
             // Step the slowest steppable processor (spinners wait for
             // their lock grant; stepping them would violate the
             // acquire contract).
@@ -464,6 +534,13 @@ impl<W: Workload> Machine<W> {
         self.acct.begin_window(now);
         self.gc.begin_window();
         self.observers.window_reset();
+        // Re-baseline any interval samplers on the freshly reset
+        // counters so the first interval starts at the window edge.
+        if self.observers.min_interval().is_some() {
+            let snap = self.counters();
+            self.observers.counter_sample(now, &snap);
+            self.schedule_sample(now);
+        }
     }
 
     /// Produces the report for the current measurement window.

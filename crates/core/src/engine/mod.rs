@@ -11,8 +11,8 @@
 //!   bookkeeping;
 //! - [`accounting`] — per-processor clocks, execution-mode accounting and
 //!   window-scoped counters;
-//! - [`observer`] — the [`SimObserver`] seam through which timelines,
-//!   cache sweeps and per-line statistics watch a run;
+//! - [`observer`] — the [`SimObserver`] seam through which interval
+//!   samplers, cache sweeps and per-line statistics watch a run;
 //! - [`trace`] — reference-trace capture as an observer on that same
 //!   seam, and replay of captures as ordinary experiment-plan jobs.
 //!
@@ -34,7 +34,7 @@ pub use dispatch::{SchedParams, Scheduler};
 pub use gc_driver::GcDriver;
 pub use kernel::{Machine, MachineConfig};
 pub use observer::{
-    AccessEvent, AccessSource, LineStatsObserver, ObserverHandle, ObserverSet, SimObserver,
-    SweepObserver, TimelineBucket, TimelineObserver,
+    AccessEvent, AccessSource, IntervalSample, IntervalSampler, LineStatsObserver, ObserverHandle,
+    ObserverSet, SimObserver, SweepObserver,
 };
 pub use trace::{replay_trace, replay_traces, ReplayReport, TraceObserver};

@@ -18,6 +18,8 @@ use std::any::Any;
 use std::marker::PhantomData;
 
 use memsys::{AccessKind, AccessOutcome, Addr, CacheSweep, LineStats};
+use probes::runlog::IntervalRecord;
+use probes::Snapshot;
 
 // The source tag lives with the trace machinery in `memsys` (captured
 // streams carry it); it is re-exported here because the observer seam is
@@ -64,6 +66,20 @@ pub trait SimObserver: Any {
 
     /// Called by `begin_measurement`: discard warm-up observations.
     fn on_window_reset(&mut self) {}
+
+    /// The simulated-cycle interval at which this observer wants
+    /// whole-machine counter snapshots delivered via
+    /// [`SimObserver::on_counter_sample`]. `None` (the default) means
+    /// the kernel never samples for this observer.
+    fn interval_cycles(&self) -> Option<u64> {
+        None
+    }
+
+    /// Delivers the cumulative whole-machine counter snapshot at
+    /// virtual time `now`. The kernel calls this once when the observer
+    /// attaches / the window resets (the baseline) and then whenever
+    /// virtual time crosses a sampling boundary.
+    fn on_counter_sample(&mut self, _now: u64, _counters: &Snapshot) {}
 }
 
 /// A typed handle to an attached observer, returned by
@@ -164,75 +180,149 @@ impl ObserverSet {
             o.on_window_reset();
         }
     }
+
+    /// Smallest sampling interval any attached observer asked for.
+    pub(crate) fn min_interval(&self) -> Option<u64> {
+        self.observers
+            .iter()
+            .filter_map(|o| o.interval_cycles())
+            .min()
+    }
+
+    pub(crate) fn counter_sample(&mut self, now: u64, counters: &Snapshot) {
+        for o in &mut self.observers {
+            if o.interval_cycles().is_some() {
+                o.on_counter_sample(now, counters);
+            }
+        }
+    }
 }
 
-/// One bucket of the Figure 10 time series.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TimelineBucket {
-    /// Cache-to-cache transfers observed in the bucket.
-    pub c2c: u64,
-    /// Whether a garbage collection was active during the bucket.
-    pub gc_active: bool,
+/// One emitted interval of an [`IntervalSampler`]: counter deltas over
+/// `[start, end)` cycles with a GC-overlap flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// Sequence number (0 first).
+    pub seq: usize,
+    /// Interval start in cycles.
+    pub start: u64,
+    /// Interval end in cycles (exclusive).
+    pub end: u64,
+    /// Whether a stop-the-world collection overlapped the interval.
+    pub gc: bool,
+    /// Counter deltas over the interval (`Ratio` counters carry the
+    /// end-of-interval value).
+    pub counters: Snapshot,
 }
 
-/// Buckets cache-to-cache transfers over time and marks GC-active
-/// buckets (Figure 10). Counts transfers from *every* source — workload,
-/// collector and kernel ticks — as the paper's hardware counters would.
+impl IntervalSample {
+    /// Interval width in cycles (always positive).
+    pub fn width(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// One counter's per-million-cycle rate over the interval.
+    pub fn rate_per_mcycle(&self, name: &str) -> f64 {
+        self.counters.get(name).unwrap_or(0) as f64 * 1e6 / self.width() as f64
+    }
+}
+
+/// Samples the *entire* registered counter tree (`mem.*`, `bus.*`,
+/// `cpustat.*`, `acct.*`) every `width` simulated cycles and records
+/// per-interval deltas with GC-active annotation — the `mpstat -p N`
+/// of the simulator, generalizing the one-metric timeline observer the
+/// Figure 10 driver used to carry.
+///
+/// The kernel drives the sampling: it polls [`SimObserver::interval_cycles`],
+/// builds one whole-machine snapshot whenever virtual time crosses a
+/// boundary, and delivers it through [`SimObserver::on_counter_sample`].
+/// Because a single step (a long GC pause, a sleep) can jump virtual
+/// time past a boundary, emitted intervals are *at least* `width` wide
+/// and carry their actual `[start, end)` — consumers normalize by
+/// [`IntervalSample::width`], never by the nominal width.
 #[derive(Debug, Clone, Default)]
-pub struct TimelineObserver {
-    bucket_cycles: u64,
-    buckets: Vec<TimelineBucket>,
+pub struct IntervalSampler {
+    width: u64,
+    last: Option<(u64, Snapshot)>,
+    samples: Vec<IntervalSample>,
     gc_intervals: Vec<(u64, u64)>,
 }
 
-impl TimelineObserver {
-    /// Creates a timeline with the given bucket width in cycles.
+impl IntervalSampler {
+    /// Creates a sampler with the given nominal interval width in
+    /// cycles.
     ///
     /// # Panics
     ///
-    /// Panics if `bucket_cycles` is zero.
-    pub fn new(bucket_cycles: u64) -> Self {
-        assert!(bucket_cycles > 0, "timeline bucket must be positive");
-        TimelineObserver {
-            bucket_cycles,
-            buckets: Vec::new(),
+    /// Panics if `width` is zero.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "sampling interval must be positive");
+        IntervalSampler {
+            width,
+            last: None,
+            samples: Vec::new(),
             gc_intervals: Vec::new(),
         }
     }
 
-    /// The bucket width in cycles.
-    pub fn bucket_cycles(&self) -> u64 {
-        self.bucket_cycles
+    /// The nominal interval width in cycles.
+    pub fn width(&self) -> u64 {
+        self.width
     }
 
-    /// The time series with GC-active marks applied.
-    pub fn timeline(&self) -> Vec<TimelineBucket> {
-        let mut t = self.buckets.clone();
-        for &(s, e) in &self.gc_intervals {
-            let first = (s / self.bucket_cycles) as usize;
-            let last = (e / self.bucket_cycles) as usize;
-            for b in first..=last {
-                if b < t.len() {
-                    t[b].gc_active = true;
-                }
-            }
-        }
-        t
+    /// The emitted intervals, in time order.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
     }
 
-    fn bump(&mut self, now: u64) {
-        let bucket = (now / self.bucket_cycles) as usize;
-        if self.buckets.len() <= bucket {
-            self.buckets.resize(bucket + 1, TimelineBucket::default());
-        }
-        self.buckets[bucket].c2c += 1;
+    /// Converts the series into RunLog `interval` records for job
+    /// `(run, id)`.
+    pub fn to_records(&self, run: usize, id: usize) -> Vec<IntervalRecord> {
+        self.samples
+            .iter()
+            .map(|s| IntervalRecord {
+                run,
+                id,
+                seq: s.seq,
+                start: s.start,
+                end: s.end,
+                gc: s.gc,
+                counters: s.counters.clone(),
+            })
+            .collect()
     }
 }
 
-impl SimObserver for TimelineObserver {
-    fn on_access(&mut self, event: &AccessEvent<'_>) {
-        if event.outcome.c2c {
-            self.bump(event.now);
+impl SimObserver for IntervalSampler {
+    fn interval_cycles(&self) -> Option<u64> {
+        Some(self.width)
+    }
+
+    fn on_counter_sample(&mut self, now: u64, counters: &Snapshot) {
+        match &mut self.last {
+            None => self.last = Some((now, counters.clone())),
+            Some((start, prev)) => {
+                if now <= *start {
+                    // A same-instant re-baseline (attach followed by
+                    // an immediate boundary): refresh, emit nothing.
+                    *prev = counters.clone();
+                    return;
+                }
+                let delta = counters.delta(prev);
+                let gc = self
+                    .gc_intervals
+                    .iter()
+                    .any(|&(s, e)| s < now && e > *start);
+                self.samples.push(IntervalSample {
+                    seq: self.samples.len(),
+                    start: *start,
+                    end: now,
+                    gc,
+                    counters: delta,
+                });
+                *start = now;
+                *prev = counters.clone();
+            }
         }
     }
 
@@ -241,8 +331,9 @@ impl SimObserver for TimelineObserver {
     }
 
     fn on_window_reset(&mut self) {
-        self.buckets.clear();
+        self.samples.clear();
         self.gc_intervals.clear();
+        self.last = None;
     }
 }
 
@@ -342,26 +433,58 @@ mod tests {
         }
     }
 
-    #[test]
-    fn timeline_buckets_and_marks_gc() {
-        let mut t = TimelineObserver::new(100);
-        let o = c2c_outcome();
-        for now in [5u64, 50, 250] {
-            t.on_access(&AccessEvent {
-                cpu: 0,
-                kind: AccessKind::Load,
-                addr: Addr(0),
-                outcome: &o,
-                now,
-                source: AccessSource::Workload,
-            });
+    use probes::registry::{CounterDesc, CounterKind, CounterSet};
+
+    struct Cb(u64);
+    impl CounterSet for Cb {
+        fn descriptors(&self) -> &'static [CounterDesc] {
+            const D: [CounterDesc; 1] = [CounterDesc::new("bus.snoop_cb", CounterKind::Count)];
+            &D
         }
-        t.on_gc_interval(100, 199);
-        let tl = t.timeline();
+        fn values(&self, out: &mut Vec<u64>) {
+            let Cb(v) = self;
+            out.push(*v);
+        }
+    }
+
+    #[test]
+    fn sampler_emits_deltas_and_marks_gc() {
+        let mut s = IntervalSampler::new(100);
+        assert_eq!(s.interval_cycles(), Some(100));
+        // Baseline at t=0 with cumulative 5, then boundary deliveries.
+        s.on_counter_sample(0, &Snapshot::of(&Cb(5)));
+        s.on_counter_sample(100, &Snapshot::of(&Cb(25)));
+        s.on_gc_interval(150, 180);
+        s.on_counter_sample(210, &Snapshot::of(&Cb(26)));
+        s.on_counter_sample(300, &Snapshot::of(&Cb(46)));
+
+        let tl = s.samples();
         assert_eq!(tl.len(), 3);
-        assert_eq!(tl[0].c2c, 2);
-        assert_eq!(tl[2].c2c, 1);
-        assert!(tl[1].gc_active && !tl[0].gc_active && !tl[2].gc_active);
+        assert_eq!(tl[0].counters.get("bus.snoop_cb"), Some(20));
+        assert_eq!((tl[0].start, tl[0].end), (0, 100));
+        assert!(!tl[0].gc, "GC happened after this interval");
+        // The long step past the boundary stretched the interval.
+        assert_eq!((tl[1].start, tl[1].end), (100, 210));
+        assert!(tl[1].gc, "GC [150,180) overlaps [100,210)");
+        assert_eq!(tl[1].counters.get("bus.snoop_cb"), Some(1));
+        assert!(!tl[2].gc);
+        assert_eq!(tl[2].seq, 2);
+        assert!((tl[2].rate_per_mcycle("bus.snoop_cb") - 20.0 * 1e6 / 90.0).abs() < 1e-6);
+
+        // Records carry the series verbatim.
+        let recs = s.to_records(3, 7);
+        assert_eq!(recs.len(), 3);
+        assert_eq!((recs[1].run, recs[1].id, recs[1].seq), (3, 7, 1));
+        assert!(recs[1].gc);
+
+        // A window reset discards everything, including the baseline.
+        s.on_window_reset();
+        assert!(s.samples().is_empty());
+        s.on_counter_sample(400, &Snapshot::of(&Cb(50)));
+        assert!(
+            s.samples().is_empty(),
+            "first post-reset sample is the baseline"
+        );
     }
 
     #[test]
@@ -393,19 +516,17 @@ mod tests {
     #[test]
     fn observer_set_round_trips_typed_handles() {
         let mut set = ObserverSet::new();
-        let h = set.attach(TimelineObserver::new(10));
-        let o = c2c_outcome();
-        set.access(&AccessEvent {
-            cpu: 1,
-            kind: AccessKind::Store,
-            addr: Addr(0x80),
-            outcome: &o,
-            now: 3,
-            source: AccessSource::Workload,
-        });
-        assert_eq!(set.get(h).timeline()[0].c2c, 1);
+        let h = set.attach(IntervalSampler::new(10));
+        assert_eq!(set.min_interval(), Some(10));
+        set.counter_sample(0, &Snapshot::of(&Cb(0)));
+        set.counter_sample(10, &Snapshot::of(&Cb(4)));
+        assert_eq!(set.get(h).samples().len(), 1);
+        assert_eq!(
+            set.get(h).samples()[0].counters.get("bus.snoop_cb"),
+            Some(4)
+        );
         set.window_reset();
-        assert!(set.get(h).timeline().is_empty());
+        assert!(set.get(h).samples().is_empty());
     }
 
     #[test]

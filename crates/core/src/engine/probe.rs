@@ -91,7 +91,6 @@ impl<W: Workload> Machine<W> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::experiment::{jbb_machine, measure, Effort};
 
     #[test]

@@ -18,13 +18,14 @@ use std::time::Instant;
 
 use memsys::{Addr, AddrRange};
 use probes::registry::Snapshot;
-use probes::runlog::{JobSpan, RunLog, RunMeta};
+use probes::runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};
+use probes::Histogram;
 use simstats::Summary;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::model::Workload;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::engine::{Machine, MachineConfig, WindowReport};
+use crate::engine::{IntervalSample, Machine, MachineConfig, WindowReport};
 
 /// Base address of the workload's memory region: above the engine's
 /// reserved kernel-tick lines, below nothing else.
@@ -94,6 +95,31 @@ impl Effort {
             Effort::Quick => "quick",
             Effort::Standard => "standard",
             Effort::Full => "full",
+        }
+    }
+}
+
+/// Telemetry one job can ship into the run log alongside its output:
+/// an end-of-window counter snapshot, an `IntervalSampler` series, and
+/// named latency histograms. Everything here rides outside the merge
+/// path — attaching or dropping it never changes merged outputs.
+#[derive(Debug, Clone, Default)]
+pub struct JobTelemetry {
+    /// End-of-job counter snapshot for the job's span.
+    pub counters: Option<Snapshot>,
+    /// The job's sampled interval series, in time order.
+    pub intervals: Vec<IntervalSample>,
+    /// Named histograms, e.g. `("mem.latency", h)`.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+impl JobTelemetry {
+    /// Telemetry carrying only a counter snapshot (the `run_probed`
+    /// shape).
+    pub fn counters(snapshot: Option<Snapshot>) -> Self {
+        JobTelemetry {
+            counters: snapshot,
+            ..JobTelemetry::default()
         }
     }
 }
@@ -203,7 +229,13 @@ impl ExperimentPlan {
         O: Send,
     {
         let order: Vec<usize> = (0..inputs.len()).collect();
-        self.run_ordered(inputs, &order, None, |i| (job(i), None), |_| {})
+        self.run_ordered(
+            inputs,
+            &order,
+            None,
+            |i| (job(i), JobTelemetry::default()),
+            |_| {},
+        )
     }
 
     /// Like [`ExperimentPlan::run`], but jobs carry a relative cost hint
@@ -245,7 +277,7 @@ impl ExperimentPlan {
             inputs,
             &largest_first_order(&costs),
             Some(&costs),
-            |i| (job(i), None),
+            |i| (job(i), JobTelemetry::default()),
             on_claim,
         )
     }
@@ -270,20 +302,49 @@ impl ExperimentPlan {
             inputs,
             &largest_first_order(&costs),
             Some(&costs),
+            |i| {
+                let (out, counters) = job(i);
+                (out, JobTelemetry::counters(counters))
+            },
+            |_| {},
+        )
+    }
+
+    /// [`ExperimentPlan::run_probed`] for jobs that also capture interval
+    /// series and latency histograms: the job returns
+    /// `(output, JobTelemetry)`, and everything in the telemetry lands
+    /// in the run log under the job's `(run, id)` — spans, `interval`
+    /// records and `hist` records — while outputs merge exactly as in
+    /// the other runners (telemetry is dropped when no log is attached).
+    pub fn run_telemetry<I, O>(
+        &self,
+        inputs: &[I],
+        cost: impl Fn(&I) -> u64,
+        job: impl Fn(&I) -> (O, JobTelemetry) + Sync,
+    ) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+    {
+        let costs: Vec<u64> = inputs.iter().map(cost).collect();
+        self.run_ordered(
+            inputs,
+            &largest_first_order(&costs),
+            Some(&costs),
             job,
             |_| {},
         )
     }
 
     /// The shared engine: claims inputs in `order`, writes outputs into
-    /// their input-order slots. Jobs return `(output, counter snapshot)`;
-    /// the snapshot goes to the run log (if any), never into a slot.
+    /// their input-order slots. Jobs return `(output, telemetry)`; the
+    /// telemetry goes to the run log (if any), never into a slot.
     fn run_ordered<I, O>(
         &self,
         inputs: &[I],
         order: &[usize],
         costs: Option<&[u64]>,
-        job: impl Fn(&I) -> (O, Option<Snapshot>) + Sync,
+        job: impl Fn(&I) -> (O, JobTelemetry) + Sync,
         on_claim: impl Fn(usize) + Sync,
     ) -> Vec<O>
     where
@@ -299,32 +360,50 @@ impl ExperimentPlan {
                 jobs: inputs.len(),
             })
         });
-        // Span emission: called on whichever thread finished the job,
-        // after the output is produced but independent of the slot
+        // Telemetry emission: called on whichever thread finished the
+        // job, after the output is produced but independent of the slot
         // writes the merge reads from.
-        let emit =
-            |id: usize, worker: usize, claim: usize, wall: f64, counters: Option<Snapshot>| {
-                let (Some(binding), Some(run)) = (&self.log, run) else {
-                    return;
-                };
-                binding.log.record_span(JobSpan {
+        let emit = |id: usize, worker: usize, claim: usize, wall: f64, tele: JobTelemetry| {
+            let (Some(binding), Some(run)) = (&self.log, run) else {
+                return;
+            };
+            binding.log.record_span(JobSpan {
+                run,
+                id,
+                label: self.job_labels.as_ref().and_then(|l| l.get(id).cloned()),
+                worker,
+                claim,
+                cost_hint: costs.map(|c| c[id]),
+                wall_secs: wall,
+                counters: tele.counters,
+            });
+            binding
+                .log
+                .record_intervals(tele.intervals.into_iter().map(|s| IntervalRecord {
                     run,
                     id,
-                    label: self.job_labels.as_ref().and_then(|l| l.get(id).cloned()),
-                    worker,
-                    claim,
-                    cost_hint: costs.map(|c| c[id]),
-                    wall_secs: wall,
-                    counters,
+                    seq: s.seq,
+                    start: s.start,
+                    end: s.end,
+                    gc: s.gc,
+                    counters: s.counters,
+                }));
+            for (name, hist) in tele.hists {
+                binding.log.record_hist(HistRecord {
+                    run,
+                    id,
+                    name,
+                    hist,
                 });
-            };
+            }
+        };
         if self.threads <= 1 || inputs.len() <= 1 {
             let mut slots: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
             for (claim, &i) in order.iter().enumerate() {
                 on_claim(i);
                 let started = Instant::now();
-                let (out, counters) = job(&inputs[i]);
-                emit(i, 0, claim, started.elapsed().as_secs_f64(), counters);
+                let (out, tele) = job(&inputs[i]);
+                emit(i, 0, claim, started.elapsed().as_secs_f64(), tele);
                 slots[i] = Some(out);
             }
             return slots
@@ -361,8 +440,8 @@ impl ExperimentPlan {
                     };
                     let Some((i, claim)) = claimed else { break };
                     let started = Instant::now();
-                    let (out, counters) = job(&inputs[i]);
-                    emit(i, worker, claim, started.elapsed().as_secs_f64(), counters);
+                    let (out, tele) = job(&inputs[i]);
+                    emit(i, worker, claim, started.elapsed().as_secs_f64(), tele);
                     *slots[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -607,6 +686,75 @@ mod tests {
         assert_eq!(parsed.jobs.len(), 2 * inputs.len());
         assert!(parsed.jobs.iter().all(|j| j.cost_hint.is_some()));
         assert_eq!(parsed.jobs[0].label.as_deref(), Some("job-11"));
+    }
+
+    #[test]
+    fn run_telemetry_streams_intervals_and_hists_into_log() {
+        struct Tick(u64);
+        impl probes::registry::CounterSet for Tick {
+            fn descriptors(&self) -> &'static [probes::registry::CounterDesc] {
+                const D: &[probes::registry::CounterDesc] = &[probes::registry::CounterDesc::new(
+                    "tick.n",
+                    probes::registry::CounterKind::Count,
+                )];
+                D
+            }
+            fn values(&self, out: &mut Vec<u64>) {
+                out.push(self.0);
+            }
+        }
+
+        let job = |&x: &u64| {
+            let mut hist = Histogram::new();
+            hist.record(x + 1);
+            let tele = JobTelemetry {
+                counters: Some(Snapshot::of(&Tick(x))),
+                intervals: vec![
+                    crate::engine::IntervalSample {
+                        seq: 0,
+                        start: 0,
+                        end: 100,
+                        gc: false,
+                        counters: Snapshot::of(&Tick(x)),
+                    },
+                    crate::engine::IntervalSample {
+                        seq: 1,
+                        start: 100,
+                        end: 200,
+                        gc: true,
+                        counters: Snapshot::of(&Tick(x * 2)),
+                    },
+                ],
+                hists: vec![("mem.latency".to_string(), hist)],
+            };
+            (x * 7, tele)
+        };
+
+        let inputs: Vec<u64> = (0..6).collect();
+        let bare = ExperimentPlan::serial(Effort::Quick).run(&inputs, |i| job(i).0);
+        assert_eq!(bare, vec![0, 7, 14, 21, 28, 35]);
+
+        for threads in [1, 3] {
+            let log = Arc::new(RunLog::new());
+            let logged = ExperimentPlan::serial(Effort::Quick)
+                .with_threads(threads)
+                .with_run_log(Arc::clone(&log), "test")
+                .run_telemetry(&inputs, |&x| x, job);
+            assert_eq!(bare, logged, "threads={threads}");
+            assert_eq!(log.span_count(), inputs.len());
+            assert_eq!(log.interval_count(), 2 * inputs.len());
+            assert_eq!(log.hist_count(), inputs.len());
+
+            let jsonl = log.to_jsonl(&probes::Provenance {
+                git_rev: "test".into(),
+                hostname: "test".into(),
+                cpu_count: 1,
+                timestamp: 0,
+            });
+            let parsed = probes::report::check(&jsonl).expect("telemetry JSONL passes --check");
+            assert_eq!(parsed.intervals.len(), 2 * inputs.len());
+            assert_eq!(parsed.hists.len(), inputs.len());
+        }
     }
 
     #[test]

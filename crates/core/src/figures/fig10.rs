@@ -7,18 +7,27 @@
 //! mutators' dirty lines have long been written back by collection time
 //! (eden is far larger than the caches), so the single collector thread
 //! reads from memory, and the idle mutators issue no requests at all.
+//!
+//! The time series comes from the generic [`IntervalSampler`]: the
+//! `bus.snoop_cb` counter delta of each sampled interval *is* the
+//! figure's y-axis, normalized per million cycles since a GC pause can
+//! stretch an interval past its nominal width.
 
 use memsys::{Addr, AddrRange};
+use probes::runlog::IntervalRecord;
 use simstats::Table;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::engine::{Machine, MachineConfig, TimelineBucket, TimelineObserver};
+use crate::engine::{IntervalSample, IntervalSampler, Machine, MachineConfig};
 use crate::experiment::WORKLOAD_BASE;
 use crate::Effort;
 
-/// Bucket width for this figure. The collapse is only visible when a
-/// collection spans whole buckets, so the buckets are finer than the
-/// scaled collections.
+/// The counter whose interval deltas form the series.
+const C2C_COUNTER: &str = "bus.snoop_cb";
+
+/// Nominal sampling interval for this figure. The collapse is only
+/// visible when a collection spans whole intervals, so these are finer
+/// than the scaled collections.
 const BUCKET_CYCLES: u64 = 2_000_000;
 
 /// Heap scale for this figure. The mechanism behind the collapse is that
@@ -28,27 +37,28 @@ const BUCKET_CYCLES: u64 = 2_000_000;
 /// preserve that ratio.
 const SCALE_DIVISOR: u64 = 8;
 
-/// The Figure 10 result: the bucketed time series.
+/// The Figure 10 result: the sampled time series.
 #[derive(Debug, Clone)]
 pub struct Fig10 {
-    /// Per-bucket transfers and GC activity, in time order.
-    pub buckets: Vec<TimelineBucket>,
-    /// Bucket width in cycles.
-    pub bucket_cycles: u64,
+    /// Per-interval counter deltas and GC overlap, in time order.
+    pub intervals: Vec<IntervalSample>,
+    /// Nominal interval width in cycles (a GC pause can stretch an
+    /// individual interval past this; rates normalize by actual width).
+    pub interval_cycles: u64,
     /// Number of collections in the trace.
     pub gc_count: u64,
 }
 
-/// Runs the experiment: one SPECjbb run, traced until at least three
+/// Runs the experiment: one SPECjbb run, sampled until at least three
 /// collections (or a generous horizon) have happened.
 pub fn run(effort: Effort, pset: usize) -> Fig10 {
     let cfg = SpecJbbConfig::scaled(2 * pset, SCALE_DIVISOR);
     let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
     let mut mc = MachineConfig::e6000(pset);
     mc.seed = 1;
-    mc.timeline_bucket = BUCKET_CYCLES;
+    mc.sample_interval = BUCKET_CYCLES;
     let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
-    let timeline = m.attach_observer(TimelineObserver::new(BUCKET_CYCLES));
+    let sampler = m.attach_observer(IntervalSampler::new(BUCKET_CYCLES));
     m.run_until(effort.warmup());
     m.begin_measurement();
     let start = m.time();
@@ -60,62 +70,80 @@ pub fn run(effort: Effort, pset: usize) -> Fig10 {
         m.run_until(next);
     }
     Fig10 {
-        buckets: m.observer(timeline).timeline(),
-        bucket_cycles: BUCKET_CYCLES,
+        intervals: m.observer(sampler).samples().to_vec(),
+        interval_cycles: BUCKET_CYCLES,
         gc_count: m.gc_count(),
     }
 }
 
 impl Fig10 {
-    /// Mean transfers per bucket outside GC windows.
-    pub fn rate_outside_gc(&self) -> f64 {
-        let xs: Vec<u64> = self
-            .buckets
-            .iter()
-            .filter(|b| !b.gc_active && b.c2c > 0)
-            .map(|b| b.c2c)
-            .collect();
-        if xs.is_empty() {
+    /// One interval's snoop-copyback rate per million cycles.
+    fn c2c_rate(s: &IntervalSample) -> f64 {
+        s.rate_per_mcycle(C2C_COUNTER)
+    }
+
+    fn mean(xs: impl Iterator<Item = f64>) -> f64 {
+        let (sum, n) = xs.fold((0.0, 0u64), |(s, n), x| (s + x, n + 1));
+        if n == 0 {
             0.0
         } else {
-            xs.iter().sum::<u64>() as f64 / xs.len() as f64
+            sum / n as f64
         }
     }
 
-    /// Mean transfers per bucket inside GC windows.
+    /// Mean transfer rate (per Mcycle) outside GC windows, over the
+    /// intervals that saw any traffic.
+    pub fn rate_outside_gc(&self) -> f64 {
+        Self::mean(
+            self.intervals
+                .iter()
+                .filter(|s| !s.gc && s.counters.get(C2C_COUNTER).unwrap_or(0) > 0)
+                .map(Self::c2c_rate),
+        )
+    }
+
+    /// Mean transfer rate (per Mcycle) inside GC windows.
     pub fn rate_during_gc(&self) -> f64 {
-        let xs: Vec<u64> = self
-            .buckets
-            .iter()
-            .filter(|b| b.gc_active)
-            .map(|b| b.c2c)
-            .collect();
-        if xs.is_empty() {
-            0.0
-        } else {
-            xs.iter().sum::<u64>() as f64 / xs.len() as f64
-        }
+        Self::mean(self.intervals.iter().filter(|s| s.gc).map(Self::c2c_rate))
     }
 
     /// Renders the normalized series the paper plots.
     pub fn table(&self) -> Table {
-        let max = self.buckets.iter().map(|b| b.c2c).max().unwrap_or(1).max(1) as f64;
+        let max = self
+            .intervals
+            .iter()
+            .map(|s| Self::c2c_rate(s))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         let mut t = Table::new(
-            "Figure 10: Cache-to-Cache Transfers Over Time (normalized; 100 ms buckets)",
-            &["bucket", "c2c (norm)", "gc"],
+            "Figure 10: Cache-to-Cache Transfers Over Time (normalized; 100 ms intervals)",
+            &["interval", "c2c (norm)", "gc"],
         );
-        for (i, b) in self.buckets.iter().enumerate() {
+        for s in &self.intervals {
             t.row(&[
-                i.to_string(),
-                format!("{:.3}", b.c2c as f64 / max),
-                if b.gc_active {
-                    "GC".into()
-                } else {
-                    String::new()
-                },
+                s.seq.to_string(),
+                format!("{:.3}", Self::c2c_rate(s) / max),
+                if s.gc { "GC".into() } else { String::new() },
             ]);
         }
         t
+    }
+
+    /// The series as RunLog `interval` records for job `(run, id)` —
+    /// what `figures` streams into `RUNLOG_figures.jsonl`.
+    pub fn records(&self, run: usize, id: usize) -> Vec<IntervalRecord> {
+        self.intervals
+            .iter()
+            .map(|s| IntervalRecord {
+                run,
+                id,
+                seq: s.seq,
+                start: s.start,
+                end: s.end,
+                gc: s.gc,
+                counters: s.counters.clone(),
+            })
+            .collect()
     }
 
     /// Checks the paper's qualitative claim: the transfer rate drops
@@ -132,7 +160,7 @@ impl Fig10 {
             v.push("no cache-to-cache traffic outside GC".to_string());
         } else if during > outside * 0.5 {
             v.push(format!(
-                "c2c rate must collapse during GC: outside {outside:.0}/bucket, during {during:.0}"
+                "c2c rate must collapse during GC: outside {outside:.1}/Mcycle, during {during:.1}"
             ));
         }
         v
@@ -156,6 +184,10 @@ mod tests {
             f.rate_during_gc(),
             f.rate_outside_gc()
         );
+        assert!(f.intervals.iter().any(|s| s.gc), "a GC interval is flagged");
         assert!(f.table().to_string().contains("Figure 10"));
+        let recs = f.records(0, 0);
+        assert_eq!(recs.len(), f.intervals.len());
+        assert!(recs.iter().enumerate().all(|(i, r)| r.seq == i));
     }
 }

@@ -6,8 +6,8 @@
 //!
 //! - [`engine`] — the layered simulation engine: the discrete-event
 //!   kernel, the scheduler, GC orchestration, mode accounting, and the
-//!   [`engine::SimObserver`] seam through which timelines, cache sweeps
-//!   and per-line statistics watch a run;
+//!   [`engine::SimObserver`] seam through which interval samplers, cache
+//!   sweeps and per-line statistics watch a run;
 //! - [`experiment`] — warm-up / measurement-window orchestration, the
 //!   multi-seed variability methodology, and the [`ExperimentPlan`]
 //!   worker pool that fans seeds × configurations over cores with
@@ -23,12 +23,12 @@ pub mod score;
 
 pub use cluster::{replay_into_database, run_cluster, run_cluster_with, ClusterReport};
 pub use engine::{
-    replay_trace, replay_traces, AccessSource, LineStatsObserver, Machine, MachineConfig,
-    ObserverHandle, ReplayReport, SimObserver, SweepObserver, TimelineBucket, TimelineObserver,
+    replay_trace, replay_traces, AccessSource, IntervalSample, IntervalSampler, LineStatsObserver,
+    Machine, MachineConfig, ObserverHandle, ReplayReport, SimObserver, SweepObserver,
     TraceObserver, WindowReport,
 };
 pub use experiment::{
     ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, largest_first_order,
-    measure, measure_seeds, Effort, ExperimentPlan,
+    measure, measure_seeds, Effort, ExperimentPlan, JobTelemetry,
 };
 pub use score::{official_run, official_run_with, JbbScore, RampPoint, RAMP_TOLERANCE};

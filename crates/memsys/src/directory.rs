@@ -40,7 +40,7 @@
 //! *placement* of the second. Every L2 has the same geometry, so a line
 //! maps to the same set index in each of them; the directory therefore
 //! keeps one small open-addressed block per set (linear probing over
-//! packed 8-byte entries, backward-shift deletion, Fibonacci-hashed by
+//! packed 16-byte entries, backward-shift deletion, Fibonacci-hashed by
 //! tag), sized at twice the set's residency bound `groups × ways` so
 //! its load factor stays below one half by construction. A lookup is
 //! one multiplicative hash and typically one cache-line touch with no
@@ -57,11 +57,13 @@
 //! into cache before it begins
 //! ([`MemorySystem::warm`](crate::system::MemorySystem::warm)).
 //!
-//! Packing each entry into a single `u64` (43-bit line tag, 16-bit
-//! sharer word, 5-bit owner) rather than a struct of key + bitset +
-//! owner at sixteen bytes halves the table's footprint and therefore its
-//! cache-line and TLB miss rates, worth far more than the few cycles of
-//! shift arithmetic it costs.
+//! Each entry is two adjacent `u64` words: a *meta* word (57-bit line
+//! tag, 7-bit owner) and a full 64-bit sharer bitset. Two words instead
+//! of one doubles the table's footprint over the original single-word
+//! packing, but buys a sharer field wide enough for 64 L2 groups —
+//! larger topologies no longer fall back to broadcast snooping — and
+//! the pair sits in one 16-byte aligned unit, so an entry touch still
+//! costs a single cache-line fetch in the common case.
 //!
 //! The protocol paths use fused read-modify operations so an entire miss
 //! costs about two entry touches: [`Directory::fetch_and_add`] answers
@@ -72,23 +74,22 @@
 //! ([`Directory::remove_sharer`]) is the one extra touch — in the same
 //! block.
 
-/// Bits of a slot word holding the owner group (`31` = no owner).
-const OWNER_BITS: u32 = 5;
-/// Bits of a slot word holding the sharer bitset.
-const SHARER_BITS: u32 = 16;
-/// Where the line tag starts.
-const KEY_SHIFT: u32 = OWNER_BITS + SHARER_BITS;
+/// Bits of the meta word holding the owner group (`127` = no owner).
+const OWNER_BITS: u32 = 7;
+/// Where the line tag starts in the meta word (sharers live in the
+/// entry's second word).
+const KEY_SHIFT: u32 = OWNER_BITS;
 
 /// Owner-field value meaning "no dirty copy anywhere".
 const NO_OWNER: u64 = (1 << OWNER_BITS) - 1;
 
 /// Largest representable tag; reserved as the free-slot sentinel (a free
-/// slot is the all-ones word). Tags must stay below this — 43 tag bits
-/// over any practical set count covers petabytes of physical address
-/// space, far beyond anything the simulated machines touch.
+/// slot is the all-ones meta word). Tags must stay below this — 57 tag
+/// bits over any practical set count covers far more physical address
+/// space than anything the simulated machines touch.
 const KEY_LIMIT: u64 = (1 << (64 - KEY_SHIFT)) - 1;
 
-/// Free-slot word: all ones (tag field [`KEY_LIMIT`], which no live
+/// Free-slot meta word: all ones (tag field [`KEY_LIMIT`], which no live
 /// entry can carry).
 const EMPTY: u64 = u64::MAX;
 
@@ -102,27 +103,23 @@ fn word_key(w: u64) -> u64 {
 }
 
 #[inline]
-fn word_sharers(w: u64) -> u64 {
-    (w >> OWNER_BITS) & ((1 << SHARER_BITS) - 1)
-}
-
-#[inline]
 fn word_owner(w: u64) -> u64 {
     w & NO_OWNER
 }
 
 #[inline]
-fn pack(key: u64, sharers: u64, owner: u64) -> u64 {
-    debug_assert!(key < KEY_LIMIT && sharers >> SHARER_BITS == 0 && owner <= NO_OWNER);
-    (key << KEY_SHIFT) | (sharers << OWNER_BITS) | owner
+fn pack(key: u64, owner: u64) -> u64 {
+    debug_assert!(key < KEY_LIMIT && owner <= NO_OWNER);
+    (key << KEY_SHIFT) | owner
 }
 
 /// Exact per-line sharer tracking for up to [`Directory::MAX_GROUPS`] L2
 /// groups, blocked by cache set.
 #[derive(Debug, Clone)]
 pub struct Directory {
+    /// Two words per entry: meta at `2e`, sharer bitset at `2e + 1`.
     slots: Vec<u64>,
-    /// Slots per set block minus one; the block size is a power of two.
+    /// Entries per set block minus one; the block size is a power of two.
     bmask: usize,
     /// `64 - log2(block size)`: multiplicative hashing indexes with the
     /// top bits, where the mixing is strongest.
@@ -135,9 +132,10 @@ pub struct Directory {
 }
 
 impl Directory {
-    /// Largest group count a sharer word can track. Systems with more L2
-    /// groups fall back to broadcast snooping (see `MemorySystem`).
-    pub const MAX_GROUPS: usize = SHARER_BITS as usize;
+    /// Largest group count a sharer word can track: the full width of
+    /// the entry's 64-bit sharer word. Systems with more L2 groups fall
+    /// back to broadcast snooping (see `MemorySystem`).
+    pub const MAX_GROUPS: usize = 64;
 
     /// Creates an empty directory for `groups` L2 groups whose caches
     /// all have `sets` sets of `ways` ways — identical geometry is what
@@ -164,8 +162,8 @@ impl Directory {
         let cap = sets * block;
         // The table is touched at random; huge pages keep those touches
         // from also missing the TLB (which would drop the access path's
-        // prefetches — see `crate::mem`).
-        let slots = crate::mem::huge_vec(cap, EMPTY);
+        // prefetches — see `crate::mem`). Two words per entry.
+        let slots = crate::mem::huge_vec(cap * 2, EMPTY);
         Directory {
             slots,
             bmask: block - 1,
@@ -176,7 +174,7 @@ impl Directory {
         }
     }
 
-    /// Home slot of a line: its set's block, at the tag's hash.
+    /// Home entry of a line: its set's block, at the tag's hash.
     #[inline]
     fn home(&self, line: u64) -> usize {
         let base = (line & self.set_mask) as usize * (self.bmask + 1);
@@ -204,7 +202,7 @@ impl Directory {
         // The PREFETCHW that follows (now translation-warm, so it will
         // not be dropped) upgrades the fetch to ownership.
         unsafe {
-            let p = self.slots.as_ptr().add(self.home(line));
+            let p = self.slots.as_ptr().add(self.home(line) * 2);
             std::ptr::read_volatile(p.cast::<u8>());
             crate::mem::prefetch_write(p.cast());
         }
@@ -218,27 +216,27 @@ impl Directory {
     #[inline]
     pub fn hint(&self, line: u64) {
         unsafe {
-            let p = self.slots.as_ptr().add(self.home(line));
+            let p = self.slots.as_ptr().add(self.home(line) * 2);
             crate::mem::prefetch_hint(p.cast());
         }
     }
 
-    /// Finds `line`'s slot index, or the free slot where it would go
+    /// Finds `line`'s entry index, or the free entry where it would go
     /// (`None` if its block is transiently full of other lines).
     ///
     /// # Panics
     ///
-    /// Panics if `line`'s tag exceeds the 43-bit key space — silently
+    /// Panics if `line`'s tag exceeds the 57-bit key space — silently
     /// aliasing two lines would corrupt statistics, so the bound is
     /// enforced even in release builds.
     #[inline]
     fn probe(&self, line: u64) -> (Option<usize>, bool) {
         let tag = line >> self.index_bits;
-        assert!(tag < KEY_LIMIT, "line tag exceeds the 43-bit key space");
+        assert!(tag < KEY_LIMIT, "line tag exceeds the 57-bit key space");
         let base = (line & self.set_mask) as usize * (self.bmask + 1);
         let mut o = tag.wrapping_mul(HASH_MUL).wrapping_shr(self.shift) as usize;
         for _ in 0..=self.bmask {
-            let k = word_key(self.slots[base + o]);
+            let k = word_key(self.slots[(base + o) * 2]);
             if k == tag {
                 return (Some(base + o), true);
             }
@@ -255,7 +253,7 @@ impl Directory {
     #[inline]
     pub fn sharers(&self, line: u64) -> u64 {
         match self.probe(line) {
-            (Some(i), true) => word_sharers(self.slots[i]),
+            (Some(i), true) => self.slots[i * 2 + 1],
             _ => 0,
         }
     }
@@ -264,7 +262,7 @@ impl Directory {
     pub fn owner(&self, line: u64) -> Option<usize> {
         match self.probe(line) {
             (Some(i), true) => {
-                let owner = word_owner(self.slots[i]);
+                let owner = word_owner(self.slots[i * 2]);
                 (owner != NO_OWNER).then_some(owner as usize)
             }
             _ => None,
@@ -279,11 +277,12 @@ impl Directory {
         let (slot, found) = self.probe(line);
         let i = slot.expect("directory set block overfull");
         if found {
-            let w = self.slots[i];
-            self.slots[i] = w | 1 << (group as u32 + OWNER_BITS);
-            word_sharers(w)
+            let s = self.slots[i * 2 + 1];
+            self.slots[i * 2 + 1] = s | 1u64 << group;
+            s
         } else {
-            self.slots[i] = pack(line >> self.index_bits, 1 << group, NO_OWNER);
+            self.slots[i * 2] = pack(line >> self.index_bits, NO_OWNER);
+            self.slots[i * 2 + 1] = 1u64 << group;
             self.live += 1;
             0
         }
@@ -297,12 +296,13 @@ impl Directory {
         let (slot, found) = self.probe(line);
         let i = slot.expect("directory set block overfull");
         let prior = if found {
-            word_sharers(self.slots[i])
+            self.slots[i * 2 + 1]
         } else {
             self.live += 1;
             0
         };
-        self.slots[i] = pack(line >> self.index_bits, 1 << group, group as u64);
+        self.slots[i * 2] = pack(line >> self.index_bits, group as u64);
+        self.slots[i * 2 + 1] = 1u64 << group;
         prior
     }
 
@@ -314,11 +314,11 @@ impl Directory {
         debug_assert!(found, "owner update for an untracked line");
         if let (Some(i), true) = (slot, found) {
             debug_assert_ne!(
-                word_sharers(self.slots[i]) & 1 << group,
+                self.slots[i * 2 + 1] & 1u64 << group,
                 0,
                 "owner must be a sharer"
             );
-            self.slots[i] = (self.slots[i] & !NO_OWNER) | group as u64;
+            self.slots[i * 2] = (self.slots[i * 2] & !NO_OWNER) | group as u64;
         }
     }
 
@@ -333,16 +333,18 @@ impl Directory {
             return;
         }
         let i = slot.unwrap();
-        let mut w = self.slots[i] & !(1 << (group as u32 + OWNER_BITS));
-        if word_owner(w) == group as u64 {
-            w |= NO_OWNER;
-        }
-        if word_sharers(w) == 0 {
+        let s = self.slots[i * 2 + 1] & !(1u64 << group);
+        if s == 0 {
             self.live -= 1;
             self.delete(i);
-        } else {
-            self.slots[i] = w;
+            return;
         }
+        let mut meta = self.slots[i * 2];
+        if word_owner(meta) == group as u64 {
+            meta |= NO_OWNER;
+        }
+        self.slots[i * 2] = meta;
+        self.slots[i * 2 + 1] = s;
     }
 
     /// Backward-shift deletion for linear probing, confined to the
@@ -355,10 +357,11 @@ impl Directory {
         let mut hole = slot - base;
         let mut j = hole;
         loop {
-            self.slots[base + hole] = EMPTY;
+            self.slots[(base + hole) * 2] = EMPTY;
+            self.slots[(base + hole) * 2 + 1] = EMPTY;
             loop {
                 j = (j + 1) & self.bmask;
-                let w = self.slots[base + j];
+                let w = self.slots[(base + j) * 2];
                 let k = word_key(w);
                 if k == KEY_LIMIT {
                     return;
@@ -373,7 +376,8 @@ impl Directory {
                     h > hole || h <= j
                 };
                 if !stays {
-                    self.slots[base + hole] = w;
+                    self.slots[(base + hole) * 2] = w;
+                    self.slots[(base + hole) * 2 + 1] = self.slots[(base + j) * 2 + 1];
                     hole = j;
                     break;
                 }
@@ -390,16 +394,15 @@ impl Directory {
     /// (directory audits; walks the whole table).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, Option<usize>)> + '_ {
         let block = self.bmask + 1;
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| w != EMPTY)
-            .map(move |(i, &w)| {
-                let set = (i / block) as u64;
+        (0..self.slots.len() / 2)
+            .filter(move |&e| self.slots[e * 2] != EMPTY)
+            .map(move |e| {
+                let w = self.slots[e * 2];
+                let set = (e / block) as u64;
                 let owner = word_owner(w);
                 (
                     word_key(w) << self.index_bits | set,
-                    word_sharers(w),
+                    self.slots[e * 2 + 1],
                     (owner != NO_OWNER).then_some(owner as usize),
                 )
             })
@@ -473,14 +476,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn too_many_groups_panics() {
-        Directory::new(17, 16, 4);
+        Directory::new(65, 16, 4);
     }
 
     #[test]
-    #[should_panic(expected = "43-bit")]
+    #[should_panic(expected = "57-bit")]
     fn oversized_line_tag_panics() {
         let mut d = Directory::new(2, 16, 4);
         d.fetch_and_add(KEY_LIMIT << 4, 0);
+    }
+
+    /// Groups past the old 16-bit sharer field: the wide (two-word)
+    /// entry tracks them exactly.
+    #[test]
+    fn wide_group_ids_round_trip() {
+        let mut d = Directory::new(64, 16, 4);
+        assert_eq!(d.fetch_and_add(3, 17), 0);
+        assert_eq!(d.fetch_and_add(3, 40), 1 << 17);
+        assert_eq!(d.fetch_and_add(3, 63), 1 << 17 | 1 << 40);
+        assert_eq!(d.sharers(3), 1 << 17 | 1 << 40 | 1 << 63);
+        d.set_owner(3, 40);
+        assert_eq!(d.owner(3), Some(40));
+        let prior = d.take_exclusive(3, 63);
+        assert_eq!(prior, 1 << 17 | 1 << 40 | 1 << 63);
+        assert_eq!(d.sharers(3), 1 << 63);
+        assert_eq!(d.owner(3), Some(63));
+        d.remove_sharer(3, 63);
+        assert_eq!(d.lines(), 0);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use protocol::{BusOp, LineState};
 pub use sink::{CountingSink, MemSink, RecordingSink, TeeSink};
 pub use stats::{AccessKind, AccessOutcome, HitLevel, KindCounters, SystemStats};
 pub use sweep::{CacheSweep, SweepPoint, PAPER_SIZES};
-pub use system::MemorySystem;
+pub use system::{LatencyCosts, MemorySystem};
 pub use trace::{
     AccessSource, SystemSink, SystemTrace, SystemTraceEvent, Trace, TraceEvent, TraceSink,
 };

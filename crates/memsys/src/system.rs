@@ -31,6 +31,8 @@
 //!   presence masks play the same role one level up: inclusion
 //!   invalidations skip processors that never held the line.
 
+use probes::Histogram;
+
 use crate::addr::Addr;
 use crate::bus::BusStats;
 use crate::cache::Cache;
@@ -39,6 +41,38 @@ use crate::directory::Directory;
 use crate::linestats::LineStats;
 use crate::protocol::{BusOp, LineState};
 use crate::stats::{AccessKind, AccessOutcome, HitLevel, SystemStats};
+
+/// Caller-supplied per-outcome access costs for latency histogramming.
+///
+/// The memory system models *what happened* to each reference; how many
+/// cycles that costs is the CPU model's business (`simcpu::LatencyTable`),
+/// so the costs arrive from outside and this crate stays latency-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyCosts {
+    /// Cycles for an L1 hit.
+    pub l1: u64,
+    /// Cycles for an L2 hit.
+    pub l2: u64,
+    /// Cycles for a bus upgrade (invalidate-only transaction).
+    pub upgrade: u64,
+    /// Cycles for a cache-to-cache transfer (snoop copyback).
+    pub c2c: u64,
+    /// Cycles for a memory fetch.
+    pub memory: u64,
+}
+
+impl LatencyCosts {
+    /// The cost of one outcome level.
+    pub fn cost(&self, level: HitLevel) -> u64 {
+        match level {
+            HitLevel::L1 => self.l1,
+            HitLevel::L2 => self.l2,
+            HitLevel::Upgrade => self.upgrade,
+            HitLevel::CacheToCache => self.c2c,
+            HitLevel::Memory => self.memory,
+        }
+    }
+}
 
 /// A full multiprocessor cache hierarchy with snooping coherence.
 #[derive(Debug, Clone)]
@@ -57,6 +91,9 @@ pub struct MemorySystem {
     stats: SystemStats,
     bus: BusStats,
     linestats: Option<LineStats>,
+    /// Access-latency histogram (costs supplied by the caller); `None`
+    /// until [`MemorySystem::enable_latency_hist`].
+    lat_hist: Option<(LatencyCosts, Histogram)>,
 }
 
 impl MemorySystem {
@@ -104,6 +141,7 @@ impl MemorySystem {
             stats: SystemStats::new(cfg.cpus),
             bus: BusStats::new(),
             linestats: None,
+            lat_hist: None,
         }
     }
 
@@ -149,6 +187,18 @@ impl MemorySystem {
         self.linestats.as_ref()
     }
 
+    /// Enables access-latency histogramming: every reference records the
+    /// supplied cost of its hit level into a log2-bucketed histogram.
+    /// Costs one array increment per reference.
+    pub fn enable_latency_hist(&mut self, costs: LatencyCosts) {
+        self.lat_hist = Some((costs, Histogram::new()));
+    }
+
+    /// The access-latency histogram, if enabled.
+    pub fn latency_hist(&self) -> Option<&Histogram> {
+        self.lat_hist.as_ref().map(|(_, h)| h)
+    }
+
     /// Resets all statistics (caches keep their contents — use this to end
     /// a warm-up phase and start a measurement window).
     pub fn reset_stats(&mut self) {
@@ -156,6 +206,9 @@ impl MemorySystem {
         self.bus = BusStats::new();
         if let Some(ls) = &mut self.linestats {
             ls.reset();
+        }
+        if let Some((_, h)) = &mut self.lat_hist {
+            *h = Histogram::new();
         }
     }
 
@@ -226,6 +279,9 @@ impl MemorySystem {
             AccessKind::Store => self.access_through(cpu, addr, true, false),
         };
         self.stats.record(cpu, kind, &outcome);
+        if let Some((costs, h)) = &mut self.lat_hist {
+            h.record(costs.cost(outcome.level));
+        }
         if outcome.c2c {
             if let Some(ls) = &mut self.linestats {
                 ls.record_c2c(addr.line());
@@ -776,6 +832,32 @@ mod tests {
         let ls = m.line_stats().unwrap();
         assert_eq!(ls.touched_lines(), 2);
         assert_eq!(ls.total_c2c(), 1);
+    }
+
+    #[test]
+    fn latency_hist_records_caller_supplied_costs() {
+        let costs = LatencyCosts {
+            l1: 1,
+            l2: 10,
+            upgrade: 20,
+            c2c: 105,
+            memory: 75,
+        };
+        let mut m = sys(2);
+        m.enable_latency_hist(costs);
+        m.access(0, AccessKind::Store, Addr(0x1000)); // memory (GetX miss)
+        m.access(1, AccessKind::Load, Addr(0x1000)); // c2c
+        m.access(1, AccessKind::Load, Addr(0x1000)); // L1 hit
+        let h = m.latency_hist().unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 75 + 105 + 1);
+        assert!(h.p99() >= 105, "slowest access dominates the tail");
+        // A stats reset clears the histogram but keeps it enabled.
+        m.reset_stats();
+        let h = m.latency_hist().unwrap();
+        assert!(h.is_empty());
+        m.access(0, AccessKind::Load, Addr(0x1000));
+        assert_eq!(m.latency_hist().unwrap().count(), 1);
     }
 
     #[test]

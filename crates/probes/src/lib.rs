@@ -18,23 +18,29 @@
 //!   serialized as JSONL. Emission happens on the worker threads,
 //!   outside the input-order merge, so logged runs stay bit-identical
 //!   to unlogged ones.
+//! - [`hist`] — a dependency-free log2-bucketed [`Histogram`] with
+//!   elementwise merge and deterministic integer quantiles, for the
+//!   latency distributions (memory access, store-buffer drain,
+//!   transaction response) that interval counters cannot carry.
 //! - [`report`] — `mpstat`-style per-run worker tables and a
 //!   `cpustat`-style counter dump rendered from a RunLog, in human text
-//!   and machine CSV, plus the JSONL schema check behind
-//!   `simreport --check`.
+//!   and machine CSV, plus `simstat` interval tables/sparklines and the
+//!   JSONL schema check behind `simreport --check`.
 //! - [`provenance`] — host/commit/config metadata (`git_rev`,
 //!   `hostname`, `cpu_count`, `timestamp`) stamped into every RunLog
 //!   and `BENCH_*.json` so archived results say where they came from.
 //! - [`json`] — the tiny JSON reader/writer the above share (the
 //!   workspace is dependency-free by design; no serde).
 
+pub mod hist;
 pub mod json;
 pub mod provenance;
 pub mod registry;
 pub mod report;
 pub mod runlog;
 
+pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use provenance::Provenance;
 pub use registry::{CounterDesc, CounterKind, CounterSet, Snapshot};
-pub use runlog::{JobSpan, RunLog, RunMeta};
+pub use runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};

@@ -160,25 +160,34 @@ impl Snapshot {
         self.names.iter().all(|&n| seen.insert(n))
     }
 
-    /// Counter deltas since an `earlier` snapshot of the same shape.
+    /// Counter deltas since an `earlier` snapshot.
     /// `Count`/`Cycles` counters subtract (they are monotonic);
     /// `Ratio` counters carry the later value — a ratio of a window is
-    /// not the difference of two cumulative ratios.
+    /// not the difference of two cumulative ratios. A counter absent in
+    /// `earlier` (a set registered mid-run) deltas against 0 rather
+    /// than panicking; the fast path is still the common same-shape
+    /// case, which compares the name vectors once.
     ///
     /// # Panics
     ///
-    /// Panics if the snapshots have different names, or a monotonic
-    /// counter went backwards.
+    /// Panics if a monotonic counter went backwards.
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
-        assert_eq!(self.names, earlier.names, "snapshot shapes differ");
+        let same_shape = self.names == earlier.names;
         let values = self
             .iter()
-            .zip(&earlier.values)
-            .map(|((name, kind, now), &then)| match kind {
-                CounterKind::Ratio => now,
-                _ => now
-                    .checked_sub(then)
-                    .unwrap_or_else(|| panic!("counter {name} went backwards")),
+            .enumerate()
+            .map(|(i, (name, kind, now))| {
+                let then = if same_shape {
+                    earlier.values[i]
+                } else {
+                    earlier.get(name).unwrap_or(0)
+                };
+                match kind {
+                    CounterKind::Ratio => now,
+                    _ => now
+                        .checked_sub(then)
+                        .unwrap_or_else(|| panic!("counter {name} went backwards")),
+                }
             })
             .collect();
         Snapshot {
@@ -268,6 +277,48 @@ mod tests {
         let early = Snapshot::of(&Fake { a: 5, b: 0 });
         let late = Snapshot::of(&Fake { a: 4, b: 0 });
         let _ = late.delta(&early);
+    }
+
+    struct Ppm(u64);
+
+    impl CounterSet for Ppm {
+        fn descriptors(&self) -> &'static [CounterDesc] {
+            const DESCS: [CounterDesc; 1] = [CounterDesc::new("fake.rate_ppm", CounterKind::Ratio)];
+            &DESCS
+        }
+
+        fn values(&self, out: &mut Vec<u64>) {
+            let Ppm(v) = self;
+            out.push(*v);
+        }
+    }
+
+    #[test]
+    fn delta_carries_ratio_counters_not_differences() {
+        // Cumulative ppm went 800k -> 600k across the interval; the
+        // interval value is the later reading, never a (negative)
+        // difference — interval consumers average these, not sum them.
+        let early = Snapshot::of(&Ppm(800_000));
+        let late = Snapshot::of(&Ppm(600_000));
+        let d = late.delta(&early);
+        assert_eq!(d.get("fake.rate_ppm"), Some(600_000));
+    }
+
+    #[test]
+    fn delta_treats_counters_absent_earlier_as_zero() {
+        // A set registered mid-run: the earlier snapshot lacks fake.*
+        // entirely. The delta must not panic and reads as "since 0".
+        let early = Snapshot::of(&Ppm(100));
+        let mut late = Snapshot::of(&Ppm(200));
+        late.record(&Fake { a: 7, b: 11 });
+        let d = late.delta(&early);
+        assert_eq!(d.get("fake.a"), Some(7));
+        assert_eq!(d.get("fake.b"), Some(11));
+        assert_eq!(d.get("fake.rate_ppm"), Some(200));
+        // Fully disjoint shapes work too.
+        let empty = Snapshot::new();
+        let d2 = Snapshot::of(&Fake { a: 1, b: 2 }).delta(&empty);
+        assert_eq!(d2.get("fake.a"), Some(1));
     }
 
     #[test]

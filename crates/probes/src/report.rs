@@ -14,6 +14,7 @@
 
 use std::fmt::Write as _;
 
+use crate::hist::Histogram;
 use crate::json::{self, Json};
 
 /// A validated RunLog document.
@@ -25,6 +26,11 @@ pub struct ParsedLog {
     pub runs: Vec<RunEntry>,
     /// Job spans, in file order.
     pub jobs: Vec<JobEntry>,
+    /// Interval samples, in file order (`(run, id, seq)`-sorted by the
+    /// serializer).
+    pub intervals: Vec<IntervalEntry>,
+    /// Named latency histograms, in file order.
+    pub hists: Vec<HistEntry>,
 }
 
 /// The `provenance` event.
@@ -74,6 +80,39 @@ pub struct JobEntry {
     pub wall_secs: f64,
     /// End-of-job counter snapshot (`name → value`), in snapshot order.
     pub counters: Vec<(String, u64)>,
+}
+
+/// One `interval` event: counter deltas over a fixed simulated-cycle
+/// window of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalEntry {
+    /// Run the interval belongs to.
+    pub run: u64,
+    /// Input-order index of the job that sampled it.
+    pub id: u64,
+    /// Interval sequence number within the job.
+    pub seq: u64,
+    /// Simulated cycle the interval starts at.
+    pub start: u64,
+    /// Simulated cycle the interval ends at (exclusive).
+    pub end: u64,
+    /// Whether a GC pause overlapped the interval.
+    pub gc: bool,
+    /// Counter deltas (`name → value`), in snapshot order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One `hist` event: a named log2 latency histogram from one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistEntry {
+    /// Run the histogram belongs to.
+    pub run: u64,
+    /// Input-order index of the job that captured it.
+    pub id: u64,
+    /// Dot-separated histogram name, e.g. `mem.latency`.
+    pub name: String,
+    /// The reconstructed histogram.
+    pub hist: Histogram,
 }
 
 /// Parses and schema-checks a RunLog JSONL document.
@@ -135,16 +174,7 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                         .ok_or_else(|| format!("line {lineno}: missing number \"wall_secs\""))?,
                     counters: match v.get("counters") {
                         None => Vec::new(),
-                        Some(c) => c
-                            .members()
-                            .ok_or_else(|| format!("line {lineno}: \"counters\" is not an object"))?
-                            .iter()
-                            .map(|(name, val)| {
-                                val.as_u64().map(|n| (name.clone(), n)).ok_or_else(|| {
-                                    format!("line {lineno}: counter {name:?} is not a u64")
-                                })
-                            })
-                            .collect::<Result<_, _>>()?,
+                        Some(_) => req_counters(&v, lineno)?,
                     },
                 };
                 if entry.run as usize >= log.runs.len() {
@@ -162,7 +192,91 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                 }
                 log.jobs.push(entry);
             }
+            "interval" => {
+                let entry = IntervalEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    seq: req_u64(&v, "seq", lineno)?,
+                    start: req_u64(&v, "start", lineno)?,
+                    end: req_u64(&v, "end", lineno)?,
+                    gc: match v.get("gc") {
+                        Some(Json::Bool(b)) => *b,
+                        _ => return Err(format!("line {lineno}: missing boolean field \"gc\"")),
+                    },
+                    counters: req_counters(&v, lineno)?,
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: interval references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                let meta = &log.runs[entry.run as usize];
+                if entry.id >= meta.jobs {
+                    return Err(format!(
+                        "line {lineno}: interval job id out of range for a {}-job run",
+                        meta.jobs
+                    ));
+                }
+                if entry.end <= entry.start {
+                    return Err(format!(
+                        "line {lineno}: interval window [{}, {}) is empty or backwards",
+                        entry.start, entry.end
+                    ));
+                }
+                log.intervals.push(entry);
+            }
+            "hist" => {
+                let entry = HistEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    name: req_str(&v, "name", lineno)?,
+                    hist: {
+                        let count = req_u64(&v, "count", lineno)?;
+                        let sum = req_u64(&v, "sum", lineno)?;
+                        let buckets: Vec<u64> = match v.get("buckets") {
+                            Some(Json::Arr(items)) => items
+                                .iter()
+                                .map(|b| {
+                                    b.as_u64().ok_or_else(|| {
+                                        format!("line {lineno}: histogram bucket is not a u64")
+                                    })
+                                })
+                                .collect::<Result<_, _>>()?,
+                            _ => {
+                                return Err(format!(
+                                    "line {lineno}: missing array field \"buckets\""
+                                ))
+                            }
+                        };
+                        Histogram::from_parts(count, sum, &buckets)
+                            .map_err(|e| format!("line {lineno}: {e}"))?
+                    },
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: hist references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                log.hists.push(entry);
+            }
             other => return Err(format!("line {lineno}: unknown event type {other:?}")),
+        }
+    }
+    // Interval series must be dense per (run, job): seq 0..n in file
+    // order — the serializer sorts, so a gap means a dropped record.
+    {
+        let mut next: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+        for iv in &log.intervals {
+            let want = next.entry((iv.run, iv.id)).or_insert(0);
+            if iv.seq != *want {
+                return Err(format!(
+                    "run {} job {} interval seq {} out of order (expected {})",
+                    iv.run, iv.id, iv.seq, want
+                ));
+            }
+            *want += 1;
         }
     }
     if log.provenance.is_none() {
@@ -191,6 +305,20 @@ fn req_u64(v: &Json, key: &str, lineno: usize) -> Result<u64, String> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("line {lineno}: missing integer field {key:?}"))
+}
+
+fn req_counters(v: &Json, lineno: usize) -> Result<Vec<(String, u64)>, String> {
+    v.get("counters")
+        .ok_or_else(|| format!("line {lineno}: missing object field \"counters\""))?
+        .members()
+        .ok_or_else(|| format!("line {lineno}: \"counters\" is not an object"))?
+        .iter()
+        .map(|(name, val)| {
+            val.as_u64()
+                .map(|n| (name.clone(), n))
+                .ok_or_else(|| format!("line {lineno}: counter {name:?} is not a u64"))
+        })
+        .collect()
 }
 
 /// Renders the human-readable report: provenance header, then per run
@@ -379,6 +507,275 @@ fn csv_field(s: &str) -> String {
     }
 }
 
+/// Interval-table columns shown first when present; the rest of the
+/// table fills with the largest remaining counters.
+const SIMSTAT_COLS: [&str; 6] = [
+    "cpustat.instr_cnt",
+    "cpustat.ec_misses",
+    "bus.snoop_cb",
+    "bus.gets",
+    "mem.writebacks",
+    "acct.window_tx",
+];
+
+/// How many counter columns the interval table shows.
+const SIMSTAT_TABLE_COLS: usize = 6;
+
+/// ASCII sparkline levels, dimmest to brightest.
+const SPARK_LEVELS: &[u8] = b" .:-=+*#@";
+
+/// Renders the `simstat` view: per job an `mpstat`-style interval
+/// table and ASCII sparklines over every active counter, then a
+/// percentile table for the captured latency histograms.
+///
+/// `Ratio` (`_ppm`) counters aggregate as means — a sum of
+/// per-interval ratios means nothing — everything else sums.
+pub fn render_simstat(log: &ParsedLog) -> String {
+    let mut out = String::new();
+    if let Some(p) = &log.provenance {
+        let _ = writeln!(
+            out,
+            "simstat: rev {} on {} ({} cpus), t={}",
+            p.git_rev, p.hostname, p.cpu_count, p.timestamp
+        );
+    }
+    for (run, id) in series_groups(log) {
+        let series: Vec<&IntervalEntry> = log
+            .intervals
+            .iter()
+            .filter(|i| i.run == run && i.id == id)
+            .collect();
+        let label = log
+            .jobs
+            .iter()
+            .find(|j| j.run == run && j.id == id)
+            .and_then(|j| j.label.clone())
+            .map(|l| format!(" [{l}]"))
+            .unwrap_or_default();
+        let width_cycles = series[0].end - series[0].start;
+        let _ = writeln!(
+            out,
+            "\nrun {run} job {id}{label}: {} intervals x {width_cycles} cycles",
+            series.len()
+        );
+        render_interval_table(&mut out, &series);
+        render_sparklines(&mut out, &series);
+    }
+    render_hist_table(&mut out, log);
+    out
+}
+
+/// Distinct `(run, id)` interval series, in file order.
+fn series_groups(log: &ParsedLog) -> Vec<(u64, u64)> {
+    let mut groups = Vec::new();
+    for iv in &log.intervals {
+        if !groups.contains(&(iv.run, iv.id)) {
+            groups.push((iv.run, iv.id));
+        }
+    }
+    groups
+}
+
+/// Sum (or mean, for `_ppm` ratio counters) of one counter over a
+/// series.
+fn series_total(series: &[&IntervalEntry], name: &str) -> u64 {
+    let vals = series
+        .iter()
+        .filter_map(|iv| iv.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v));
+    if name.ends_with("_ppm") {
+        let (sum, n) = vals.fold((0u64, 0u64), |(s, n), v| (s + v, n + 1));
+        sum / n.max(1)
+    } else {
+        vals.sum()
+    }
+}
+
+/// Counter names of a series in first-interval order.
+fn series_names(series: &[&IntervalEntry]) -> Vec<String> {
+    series
+        .first()
+        .map(|iv| iv.counters.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default()
+}
+
+/// Picks the interval-table columns: preferred names first, then the
+/// largest remaining totals, capped at [`SIMSTAT_TABLE_COLS`].
+fn table_columns(series: &[&IntervalEntry]) -> Vec<String> {
+    let names = series_names(series);
+    let mut cols: Vec<String> = SIMSTAT_COLS
+        .iter()
+        .filter(|c| names.iter().any(|n| n == *c))
+        .map(|c| c.to_string())
+        .collect();
+    let mut rest: Vec<&String> = names.iter().filter(|n| !cols.contains(n)).collect();
+    rest.sort_by(|a, b| {
+        series_total(series, b)
+            .cmp(&series_total(series, a))
+            .then_with(|| a.cmp(b))
+    });
+    cols.extend(
+        rest.into_iter()
+            .take(SIMSTAT_TABLE_COLS.saturating_sub(cols.len()))
+            .cloned(),
+    );
+    cols
+}
+
+/// The `mpstat` analogue over time: one row per interval.
+fn render_interval_table(out: &mut String, series: &[&IntervalEntry]) {
+    let cols = table_columns(series);
+    let widths: Vec<usize> = cols.iter().map(|c| c.len().max(10)).collect();
+    let _ = write!(out, "   seq  start_mcyc  gc");
+    for (c, w) in cols.iter().zip(&widths) {
+        let _ = write!(out, "  {c:>w$}");
+    }
+    out.push('\n');
+    for iv in series {
+        let _ = write!(
+            out,
+            "  {:>4}  {:>10.1}  {:>2}",
+            iv.seq,
+            iv.start as f64 / 1e6,
+            if iv.gc { "*" } else { "" }
+        );
+        for (c, w) in cols.iter().zip(&widths) {
+            let v = iv
+                .counters
+                .iter()
+                .find(|(n, _)| n == c)
+                .map(|&(_, v)| v)
+                .unwrap_or(0);
+            let _ = write!(out, "  {v:>w$}");
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "  {:>4}  {:>10}  {:>2}", "tot", "", "");
+    for (c, w) in cols.iter().zip(&widths) {
+        let _ = write!(out, "  {:>w$}", series_total(series, c));
+    }
+    out.push('\n');
+}
+
+/// One ASCII sparkline per counter that moved during the series, plus a
+/// GC-activity line, each scaled to its own peak interval.
+fn render_sparklines(out: &mut String, series: &[&IntervalEntry]) {
+    let names = series_names(series);
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    let gc_line: String = series
+        .iter()
+        .map(|iv| if iv.gc { '#' } else { '.' })
+        .collect();
+    let _ = writeln!(out, "  {:<width$}  |{gc_line}|", "gc");
+    for name in &names {
+        let vals: Vec<u64> = series
+            .iter()
+            .map(|iv| {
+                iv.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let peak = vals.iter().copied().max().unwrap_or(0);
+        if peak == 0 {
+            continue;
+        }
+        let spark: String = vals
+            .iter()
+            .map(|&v| {
+                let lvl = ((v as f64 / peak as f64) * (SPARK_LEVELS.len() - 1) as f64).round();
+                SPARK_LEVELS[lvl as usize] as char
+            })
+            .collect();
+        let total = series_total(series, name);
+        let agg = if name.ends_with("_ppm") {
+            "mean"
+        } else {
+            "sum"
+        };
+        let _ = writeln!(out, "  {name:<width$}  |{spark}|  {total} ({agg})");
+    }
+}
+
+/// The latency-histogram percentile table.
+fn render_hist_table(out: &mut String, log: &ParsedLog) {
+    if log.hists.is_empty() {
+        return;
+    }
+    let width = log
+        .hists
+        .iter()
+        .map(|h| h.name.len())
+        .max()
+        .unwrap_or(0)
+        .max(9);
+    let _ = writeln!(
+        out,
+        "\n  run  job  {:<width$}  {:>10}  {:>10}  {:>8}  {:>8}  {:>8}",
+        "histogram", "count", "mean", "p50", "p90", "p99"
+    );
+    for h in &log.hists {
+        let _ = writeln!(
+            out,
+            "  {:>3}  {:>3}  {:<width$}  {:>10}  {:>10.1}  {:>8}  {:>8}  {:>8}",
+            h.run,
+            h.id,
+            h.name,
+            h.hist.count(),
+            h.hist.mean(),
+            h.hist.p50(),
+            h.hist.p90(),
+            h.hist.p99()
+        );
+    }
+}
+
+/// Renders the interval series as CSV: fixed columns, then one column
+/// per counter name in first-seen order.
+pub fn render_interval_csv(log: &ParsedLog) -> String {
+    let mut counter_names: Vec<&str> = Vec::new();
+    for iv in &log.intervals {
+        for (name, _) in &iv.counters {
+            if !counter_names.iter().any(|n| n == name) {
+                counter_names.push(name);
+            }
+        }
+    }
+    let mut out = String::from("run,tag,id,seq,start,end,gc");
+    for name in &counter_names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for iv in &log.intervals {
+        let tag = log
+            .runs
+            .get(iv.run as usize)
+            .map(|r| r.tag.as_str())
+            .unwrap_or("");
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{}",
+            iv.run,
+            csv_field(tag),
+            iv.id,
+            iv.seq,
+            iv.start,
+            iv.end,
+            iv.gc as u8
+        );
+        for name in &counter_names {
+            out.push(',');
+            if let Some((_, v)) = iv.counters.iter().find(|(n, _)| n == name) {
+                out.push_str(&v.to_string());
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +866,158 @@ mod tests {
         );
         // The serializer orders spans by claim; claim 0 was job id 1.
         assert!(lines[1].starts_with("0,parallel,1,seed-1,"));
+    }
+
+    fn interval_log() -> String {
+        use crate::registry::{CounterDesc, CounterKind, CounterSet, Snapshot};
+        use crate::runlog::{HistRecord, IntervalRecord};
+        use crate::Histogram;
+
+        struct Pair {
+            cb: u64,
+            rate: u64,
+        }
+        impl CounterSet for Pair {
+            fn descriptors(&self) -> &'static [CounterDesc] {
+                const D: [CounterDesc; 2] = [
+                    CounterDesc::new("bus.snoop_cb", CounterKind::Count),
+                    CounterDesc::new("bus.snoop_filter_ppm", CounterKind::Ratio),
+                ];
+                &D
+            }
+            fn values(&self, out: &mut Vec<u64>) {
+                let Pair { cb, rate } = self;
+                out.extend([*cb, *rate]);
+            }
+        }
+
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "simstat".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: Some("gc-trace".into()),
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.1,
+            counters: None,
+        });
+        // cb sums to 90; ppm must average to 500_000, not sum to 1.5M.
+        for (seq, (cb, rate, gc)) in [
+            (50u64, 400_000u64, false),
+            (10, 600_000, true),
+            (30, 500_000, false),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            log.record_intervals(std::iter::once(IntervalRecord {
+                run,
+                id: 0,
+                seq,
+                start: seq as u64 * 1000,
+                end: (seq as u64 + 1) * 1000,
+                gc,
+                counters: Snapshot::of(&Pair { cb, rate }),
+            }));
+        }
+        let mut h = Histogram::new();
+        for _ in 0..98 {
+            h.record(12);
+        }
+        h.record(4000);
+        log.record_hist(HistRecord {
+            run,
+            id: 0,
+            name: "mem.latency".into(),
+            hist: h,
+        });
+        log.to_jsonl(&Provenance {
+            git_rev: "abc123".into(),
+            hostname: "h".into(),
+            cpu_count: 2,
+            timestamp: 1,
+        })
+    }
+
+    #[test]
+    fn check_accepts_interval_and_hist_records() {
+        let parsed = check(&interval_log()).unwrap();
+        assert_eq!(parsed.intervals.len(), 3);
+        assert_eq!(parsed.hists.len(), 1);
+        assert!(parsed.intervals[1].gc);
+        assert_eq!(parsed.hists[0].hist.count(), 99);
+        assert_eq!(parsed.hists[0].hist.p99(), 4095);
+    }
+
+    #[test]
+    fn check_rejects_malformed_interval_records() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = "{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}";
+        // Backwards window.
+        let bad = format!(
+            "{prov}\n{run}\n{job}\n{{\"ev\":\"interval\",\"run\":0,\"id\":0,\"seq\":0,\"start\":200,\"end\":100,\"gc\":false,\"counters\":{{}}}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("empty or backwards"));
+        // Missing gc flag.
+        let bad = format!(
+            "{prov}\n{run}\n{job}\n{{\"ev\":\"interval\",\"run\":0,\"id\":0,\"seq\":0,\"start\":0,\"end\":100,\"counters\":{{}}}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("\"gc\""));
+        // Interval before its run event.
+        let bad = format!(
+            "{prov}\n{{\"ev\":\"interval\",\"run\":1,\"id\":0,\"seq\":0,\"start\":0,\"end\":100,\"gc\":false,\"counters\":{{}}}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("before its run event"));
+        // Gapped sequence numbers.
+        let bad = format!(
+            "{prov}\n{run}\n{job}\n{{\"ev\":\"interval\",\"run\":0,\"id\":0,\"seq\":1,\"start\":0,\"end\":100,\"gc\":false,\"counters\":{{}}}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("out of order"));
+        // Histogram with the wrong bucket count.
+        let bad = format!(
+            "{prov}\n{run}\n{job}\n{{\"ev\":\"hist\",\"run\":0,\"id\":0,\"name\":\"x\",\"count\":0,\"sum\":0,\"buckets\":[0,0]}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("buckets"));
+    }
+
+    #[test]
+    fn simstat_renders_tables_sparklines_and_percentiles() {
+        let parsed = check(&interval_log()).unwrap();
+        let text = render_simstat(&parsed);
+        assert!(text.contains("run 0 job 0 [gc-trace]: 3 intervals x 1000 cycles"));
+        assert!(text.contains("seq  start_mcyc  gc"));
+        assert!(text.contains("bus.snoop_cb"));
+        // GC line marks interval 1 only.
+        assert!(text.contains("|.#.|"));
+        // Monotonic counter sums; ratio counter averages.
+        assert!(text.contains("90 (sum)"));
+        assert!(text.contains("500000 (mean)"));
+        assert!(!text.contains("1500000"));
+        // Histogram percentile table.
+        assert!(text.contains("mem.latency"));
+        assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn interval_csv_has_one_row_per_interval() {
+        let parsed = check(&interval_log()).unwrap();
+        let csv = render_interval_csv(&parsed);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "run,tag,id,seq,start,end,gc,bus.snoop_cb,bus.snoop_filter_ppm"
+        );
+        assert_eq!(lines[1], "0,simstat,0,0,0,1000,0,50,400000");
+        assert_eq!(lines[2], "0,simstat,0,1,1000,2000,1,10,600000");
     }
 
     #[test]

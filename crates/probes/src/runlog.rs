@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 use std::io::{self, Write};
 use std::sync::Mutex;
 
+use crate::hist::Histogram;
 use crate::json;
 use crate::provenance::Provenance;
 use crate::registry::Snapshot;
@@ -57,6 +58,42 @@ pub struct JobSpan {
     pub counters: Option<Snapshot>,
 }
 
+/// One interval sample from a job's `IntervalSampler`: the counter
+/// deltas over `[start, end)` simulated cycles, with a GC-activity
+/// flag. The `simstat` time-series record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalRecord {
+    /// Which run this interval belongs to.
+    pub run: usize,
+    /// Input-order index of the job that sampled it.
+    pub id: usize,
+    /// Interval sequence number within the job (0 first).
+    pub seq: usize,
+    /// Simulated cycle the interval starts at.
+    pub start: u64,
+    /// Simulated cycle the interval ends at (exclusive).
+    pub end: u64,
+    /// Whether a GC pause overlapped the interval.
+    pub gc: bool,
+    /// Counter deltas over the interval (`Ratio` counters carry the
+    /// end-of-interval value; see `Snapshot::delta`).
+    pub counters: Snapshot,
+}
+
+/// One named latency histogram captured by a job (memory-access
+/// latency, store-buffer drain, transaction response time, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRecord {
+    /// Which run this histogram belongs to.
+    pub run: usize,
+    /// Input-order index of the job that captured it.
+    pub id: usize,
+    /// Dot-separated histogram name, e.g. `mem.latency`.
+    pub name: String,
+    /// The bucket data.
+    pub hist: Histogram,
+}
+
 /// A thread-safe sink for run metadata and job spans.
 ///
 /// One log may span several plan runs (bench_plan logs its serial and
@@ -71,6 +108,8 @@ pub struct RunLog {
 struct Inner {
     runs: Vec<RunMeta>,
     spans: Vec<JobSpan>,
+    intervals: Vec<IntervalRecord>,
+    hists: Vec<HistRecord>,
 }
 
 impl RunLog {
@@ -96,6 +135,21 @@ impl RunLog {
             .push(span);
     }
 
+    /// Records one job's interval series. Like spans, this happens on
+    /// worker threads as jobs finish, never inside the merge.
+    pub fn record_intervals(&self, intervals: impl IntoIterator<Item = IntervalRecord>) {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .intervals
+            .extend(intervals);
+    }
+
+    /// Records one named histogram for a job.
+    pub fn record_hist(&self, rec: HistRecord) {
+        self.inner.lock().expect("run log poisoned").hists.push(rec);
+    }
+
     /// Number of runs begun so far.
     pub fn run_count(&self) -> usize {
         self.inner.lock().expect("run log poisoned").runs.len()
@@ -106,11 +160,23 @@ impl RunLog {
         self.inner.lock().expect("run log poisoned").spans.len()
     }
 
+    /// Number of interval records captured so far.
+    pub fn interval_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").intervals.len()
+    }
+
+    /// Number of histogram records captured so far.
+    pub fn hist_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").hists.len()
+    }
+
     /// Serializes the log as JSONL: one `provenance` line, one `run`
-    /// line per run, one `job` line per span. Spans are ordered by
-    /// `(run, claim)` so the file is stable across thread timing —
-    /// parallel runs race only in *completion* order, which is the one
-    /// order we deliberately do not record.
+    /// line per run, one `job` line per span, then `interval` and
+    /// `hist` lines. Spans are ordered by `(run, claim)`, intervals by
+    /// `(run, id, seq)`, histograms by `(run, id, name)`, so the file
+    /// is stable across thread timing — parallel runs race only in
+    /// *completion* order, which is the one order we deliberately do
+    /// not record.
     pub fn write_to<W: Write>(&self, mut w: W, prov: &Provenance) -> io::Result<()> {
         let inner = self.inner.lock().expect("run log poisoned");
         writeln!(w, "{}", prov.to_json_line())?;
@@ -129,6 +195,35 @@ impl RunLog {
         for s in spans {
             writeln!(w, "{}", span_json(s))?;
         }
+        let mut intervals: Vec<&IntervalRecord> = inner.intervals.iter().collect();
+        intervals.sort_by_key(|i| (i.run, i.id, i.seq));
+        for i in intervals {
+            writeln!(
+                w,
+                "{{\"ev\":\"interval\",\"run\":{},\"id\":{},\"seq\":{},\"start\":{},\"end\":{},\"gc\":{},\"counters\":{}}}",
+                i.run,
+                i.id,
+                i.seq,
+                i.start,
+                i.end,
+                i.gc,
+                i.counters.to_json(),
+            )?;
+        }
+        let mut hists: Vec<&HistRecord> = inner.hists.iter().collect();
+        hists.sort_by(|a, b| (a.run, a.id, &a.name).cmp(&(b.run, b.id, &b.name)));
+        for h in hists {
+            writeln!(
+                w,
+                "{{\"ev\":\"hist\",\"run\":{},\"id\":{},\"name\":{},\"count\":{},\"sum\":{},\"buckets\":{}}}",
+                h.run,
+                h.id,
+                json::quote(&h.name),
+                h.hist.count(),
+                h.hist.sum(),
+                buckets_json(&h.hist),
+            )?;
+        }
         Ok(())
     }
 
@@ -139,6 +234,18 @@ impl RunLog {
             .expect("write to Vec cannot fail");
         String::from_utf8(buf).expect("JSONL is UTF-8")
     }
+}
+
+fn buckets_json(h: &Histogram) -> String {
+    let mut s = String::from("[");
+    for (i, b) in h.buckets().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&b.to_string());
+    }
+    s.push(']');
+    s
 }
 
 fn span_json(s: &JobSpan) -> String {
@@ -253,6 +360,86 @@ mod tests {
     }
 
     use crate::json::Json;
+
+    #[test]
+    fn intervals_and_hists_serialize_sorted_after_spans() {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "t".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 2,
+        });
+        for id in 0..2usize {
+            log.record_span(JobSpan {
+                run,
+                id,
+                label: None,
+                worker: 0,
+                claim: id,
+                cost_hint: None,
+                wall_secs: 0.0,
+                counters: None,
+            });
+        }
+        // Record job 1's series before job 0's: the file must still
+        // come out (run, id, seq)-ordered.
+        log.record_intervals((0..2).map(|seq| IntervalRecord {
+            run,
+            id: 1,
+            seq,
+            start: seq as u64 * 100,
+            end: (seq as u64 + 1) * 100,
+            gc: seq == 1,
+            counters: Snapshot::of(&One(seq as u64)),
+        }));
+        log.record_intervals(std::iter::once(IntervalRecord {
+            run,
+            id: 0,
+            seq: 0,
+            start: 0,
+            end: 100,
+            gc: false,
+            counters: Snapshot::of(&One(9)),
+        }));
+        let mut h = Histogram::new();
+        h.record(7);
+        log.record_hist(HistRecord {
+            run,
+            id: 0,
+            name: "mem.latency".into(),
+            hist: h,
+        });
+        assert_eq!(log.interval_count(), 3);
+        assert_eq!(log.hist_count(), 1);
+
+        let text = log.to_jsonl(&test_prov());
+        let lines: Vec<&str> = text.lines().collect();
+        // prov + run + 2 spans + 3 intervals + 1 hist.
+        assert_eq!(lines.len(), 8);
+        let iv = parse(lines[4]).unwrap();
+        assert_eq!(iv.get("ev").and_then(Json::as_str), Some("interval"));
+        assert_eq!(iv.get("id").and_then(Json::as_u64), Some(0));
+        assert_eq!(iv.get("gc"), Some(&Json::Bool(false)));
+        let iv2 = parse(lines[6]).unwrap();
+        assert_eq!(iv2.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(iv2.get("seq").and_then(Json::as_u64), Some(1));
+        assert_eq!(iv2.get("gc"), Some(&Json::Bool(true)));
+        assert_eq!(
+            iv2.get("counters")
+                .and_then(|c| c.get("one.v"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let hist = parse(lines[7]).unwrap();
+        assert_eq!(hist.get("ev").and_then(Json::as_str), Some("hist"));
+        assert_eq!(hist.get("name").and_then(Json::as_str), Some("mem.latency"));
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        match hist.get("buckets").unwrap() {
+            Json::Arr(items) => assert_eq!(items.len(), Histogram::BUCKETS),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
 
     #[test]
     fn log_is_shareable_across_threads() {

@@ -16,6 +16,7 @@
 //! execution time.
 
 use memsys::AccessOutcome;
+use probes::Histogram;
 
 use crate::latency::LatencyTable;
 use crate::storebuf::{StoreBuffer, DEFAULT_DEPTH};
@@ -81,6 +82,9 @@ pub struct CpuTimer {
     base_cycles: f64,
     instr_stall: u64,
     data_stall: DataStall,
+    /// Per-store drain-time histogram (pipeline stall + write latency);
+    /// `None` until [`CpuTimer::enable_drain_hist`].
+    drain_hist: Option<Histogram>,
 }
 
 impl CpuTimer {
@@ -96,6 +100,7 @@ impl CpuTimer {
             base_cycles: 0.0,
             instr_stall: 0,
             data_stall: DataStall::default(),
+            drain_hist: None,
         }
     }
 
@@ -154,6 +159,24 @@ impl CpuTimer {
         let now = self.cycles();
         let stall = self.storebuf.push(now, latency);
         self.data_stall.store_buffer += stall;
+        if let Some(h) = &mut self.drain_hist {
+            // Time to drain this store: any buffer-full stall it caused
+            // plus its own write latency behind the buffer.
+            h.record(stall + latency);
+        }
+    }
+
+    /// Enables per-store drain-time histogramming. Costs one array
+    /// increment per store.
+    pub fn enable_drain_hist(&mut self) {
+        if self.drain_hist.is_none() {
+            self.drain_hist = Some(Histogram::new());
+        }
+    }
+
+    /// The store drain-time histogram, if enabled.
+    pub fn drain_hist(&self) -> Option<&Histogram> {
+        self.drain_hist.as_ref()
     }
 
     /// Charges externally modeled stall cycles (e.g. software TLB-miss
@@ -186,6 +209,9 @@ impl CpuTimer {
         self.instr_stall = 0;
         self.data_stall = DataStall::default();
         self.storebuf.flush();
+        if let Some(h) = &mut self.drain_hist {
+            *h = Histogram::new();
+        }
     }
 }
 
@@ -344,6 +370,25 @@ mod tests {
             t.store(&out(HitLevel::Memory)); // back-to-back, no retire
         }
         assert!(t.report().data_stall.store_buffer > 0);
+    }
+
+    #[test]
+    fn drain_hist_tracks_stall_plus_latency() {
+        let mut t = CpuTimer::e6000();
+        t.enable_drain_hist();
+        t.retire(1);
+        for _ in 0..32 {
+            t.store(&out(HitLevel::Memory)); // back-to-back burst
+        }
+        let h = t.drain_hist().unwrap();
+        assert_eq!(h.count(), 32);
+        // Every store carries at least its own write latency.
+        let lat = t.latencies().stall_for(HitLevel::Memory);
+        assert!(h.sum() >= 32 * lat);
+        // The burst filled the buffer, so the tail includes stall time.
+        assert!(h.sum() > 32 * lat, "burst must add buffer-full stalls");
+        t.reset();
+        assert!(t.drain_hist().unwrap().is_empty(), "reset clears, stays on");
     }
 
     #[test]

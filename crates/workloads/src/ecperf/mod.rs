@@ -33,6 +33,7 @@ use jvm::lock::{LockId, LockSet};
 use jvm::object::{Lifetime, ObjectId};
 use jvm::thread::{carve_stacks, JavaThread};
 use memsys::{AddrRange, MemSink};
+use probes::Histogram;
 use sysos::net::{NetConfig, NetStack};
 
 use crate::ecperf::beans::{BBop, BeanNeed, BeanType};
@@ -252,6 +253,12 @@ pub struct Ecperf {
     next_order: u64,
     next_po: u64,
     tx_done: Vec<u64>,
+    /// Per-thread start time of the BBop in flight (set at `Phase::Begin`,
+    /// consumed at `TxDone`).
+    tx_begin: Vec<Option<u64>>,
+    /// Per-BBop response times in cycles (includes lock/pool waits,
+    /// emulator round trips, and absorbed GC pauses).
+    resp_hist: Histogram,
     gc_count: u64,
     db_roundtrips: u64,
     supplier_roundtrips: u64,
@@ -332,6 +339,8 @@ impl Ecperf {
             cache: ObjectCache::new(cfg.cache_capacity, cfg.cache_ttl),
             workers: vec![Worker::default(); cfg.threads],
             tx_done: vec![0; cfg.threads],
+            tx_begin: vec![None; cfg.threads],
+            resp_hist: Histogram::new(),
             gc_count: 0,
             db_roundtrips: 0,
             supplier_roundtrips: 0,
@@ -374,6 +383,17 @@ impl Ecperf {
     /// Total completed BBops.
     pub fn total_tx(&self) -> u64 {
         self.tx_done.iter().sum()
+    }
+
+    /// Per-BBop response-time histogram (cycles from `Begin` to
+    /// `TxDone`, including waits and absorbed GC pauses).
+    pub fn response_hist(&self) -> &Histogram {
+        &self.resp_hist
+    }
+
+    /// Discards accumulated response times (e.g. at the end of warm-up).
+    pub fn reset_response_hist(&mut self) {
+        self.resp_hist = Histogram::new();
     }
 
     /// Database round trips performed (path-length diagnostics).
@@ -580,6 +600,9 @@ impl Workload for Ecperf {
                 if !self.threads[thread].tlab.ensure(&mut self.heap, budget) {
                     return StepResult::user(Control::NeedsGc);
                 }
+                // Response time starts here; a NeedsGc re-run of this
+                // phase keeps the original start (the pause counts).
+                self.tx_begin[thread].get_or_insert(ctx.now);
                 self.build_needs(thread, ctx.rng);
                 ctx.sink.instructions(self.cfg.pad_instructions / 3);
                 self.workers[thread].phase = Phase::RecvAcq;
@@ -916,6 +939,9 @@ impl Workload for Ecperf {
                 sink.instructions(self.cfg.pad_instructions / 3);
                 self.heap.advance_epoch(1);
                 self.tx_done[thread] += 1;
+                if let Some(begin) = self.tx_begin[thread].take() {
+                    self.resp_hist.record(ctx.now.saturating_sub(begin));
+                }
                 self.workers[thread].phase = Phase::Begin;
                 StepResult::user(Control::TxDone)
             }

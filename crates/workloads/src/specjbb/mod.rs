@@ -23,6 +23,7 @@ use jvm::lock::{LockId, LockSet};
 use jvm::object::Lifetime;
 use jvm::thread::{carve_stacks, JavaThread};
 use memsys::{AddrRange, CountingSink, MemSink};
+use probes::Histogram;
 
 use crate::methodset::MethodSet;
 use crate::model::{Control, LockDesc, StepCtx, StepResult, Workload};
@@ -190,6 +191,12 @@ pub struct SpecJbb {
     cur: Vec<CurTx>,
     db: JbbDb,
     tx_done: Vec<u64>,
+    /// Per-thread start time of the transaction in flight (set at
+    /// `Phase::Begin`, consumed at `TxDone`).
+    tx_begin: Vec<Option<u64>>,
+    /// Per-transaction response times in cycles (includes lock waits and
+    /// any GC pause the transaction absorbed).
+    resp_hist: Histogram,
     gc_count: u64,
 }
 
@@ -236,6 +243,8 @@ impl SpecJbb {
             phases: vec![Phase::Begin; cfg.warehouses],
             cur: vec![CurTx::default(); cfg.warehouses],
             tx_done: vec![0; cfg.warehouses],
+            tx_begin: vec![None; cfg.warehouses],
+            resp_hist: Histogram::new(),
             gc_count: 0,
             cfg,
             heap,
@@ -270,6 +279,17 @@ impl SpecJbb {
     /// Collections run so far.
     pub fn gc_count(&self) -> u64 {
         self.gc_count
+    }
+
+    /// Per-transaction response-time histogram (cycles from `Begin` to
+    /// `TxDone`, including lock waits and absorbed GC pauses).
+    pub fn response_hist(&self) -> &Histogram {
+        &self.resp_hist
+    }
+
+    /// Discards accumulated response times (e.g. at the end of warm-up).
+    pub fn reset_response_hist(&mut self) {
+        self.resp_hist = Histogram::new();
     }
 
     /// Hot compiled-code footprint in bytes.
@@ -325,6 +345,9 @@ impl Workload for SpecJbb {
                 if !self.threads[thread].tlab.ensure(&mut self.heap, budget) {
                     return StepResult::user(Control::NeedsGc);
                 }
+                // Response time starts here; a NeedsGc re-run of this
+                // phase keeps the original start (the pause counts).
+                self.tx_begin[thread].get_or_insert(ctx.now);
                 let cur = &mut self.cur[thread];
                 cur.kind = TxKind::sample(ctx.rng);
                 cur.wh = thread % self.db.warehouse_count();
@@ -510,6 +533,9 @@ impl Workload for SpecJbb {
                 sink.instructions(self.cfg.pad_instructions / 2);
                 self.heap.advance_epoch(1);
                 self.tx_done[thread] += 1;
+                if let Some(begin) = self.tx_begin[thread].take() {
+                    self.resp_hist.record(ctx.now.saturating_sub(begin));
+                }
                 self.phases[thread] = Phase::Begin;
                 StepResult::user(Control::TxDone)
             }

@@ -1,30 +1,75 @@
 //! The paper's Figure 10 as an ASCII timeline: cache-to-cache transfers
 //! collapse while the single-threaded collector runs.
 //!
+//! The series comes from the generic `IntervalSampler` (every registered
+//! counter, per interval); this view plots the `bus.snoop_cb` deltas,
+//! normalized per million cycles since GC pauses stretch intervals past
+//! their nominal width. The full sampled series is archived as
+//! `RUNLOG_gc_timeline.jsonl` (with host/commit provenance) next to the
+//! `BENCH_*.json` artifacts — render it with
+//! `simreport --simstat RUNLOG_gc_timeline.jsonl`.
+//!
 //! Run with: `cargo run --release --example gc_timeline`
 
 use middlesim::figures::fig10;
 use middlesim::Effort;
+use probes::runlog::{JobSpan, RunMeta};
+use probes::{Provenance, RunLog};
 
 fn main() {
+    let started = std::time::Instant::now();
     let fig = fig10::run(Effort::Quick, 8);
-    let max = fig.buckets.iter().map(|b| b.c2c).max().unwrap_or(1).max(1);
-    println!("cache-to-cache transfers per bucket (# = traffic, 'GC' = collector active)\n");
-    for (i, b) in fig.buckets.iter().enumerate() {
-        let bar = "#".repeat((b.c2c * 50 / max) as usize);
+
+    let rates: Vec<f64> = fig
+        .intervals
+        .iter()
+        .map(|s| s.rate_per_mcycle("bus.snoop_cb"))
+        .collect();
+    let max = rates.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-12);
+    println!("cache-to-cache transfers per interval (# = c2c/Mcycle, 'GC' = collector active)\n");
+    for (s, rate) in fig.intervals.iter().zip(&rates) {
+        let bar = "#".repeat((rate / max * 50.0).round() as usize);
         println!(
             "{:>4} |{:<50}| {}",
-            i,
+            s.seq,
             bar,
-            if b.gc_active { "GC" } else { "" }
+            if s.gc { "GC" } else { "" }
         );
     }
     println!(
-        "\nmean transfers/bucket outside GC: {:.0}, during GC: {:.0} ({} collections)",
+        "\nmean c2c/Mcycle outside GC: {:.1}, during GC: {:.1} ({} collections)",
         fig.rate_outside_gc(),
         fig.rate_during_gc(),
         fig.gc_count
     );
     println!("The mutators' dirty lines were written back long before collection");
     println!("(eden >> cache), so the collector reads memory, not remote caches.");
+
+    // Archive the sampled series as a schema-valid RunLog: provenance
+    // line, one run, the figure's span, every interval record.
+    let log = RunLog::new();
+    let run = log.begin_run(RunMeta {
+        tag: "gc_timeline".into(),
+        effort: "Quick".into(),
+        threads: 1,
+        jobs: 1,
+    });
+    log.record_span(JobSpan {
+        run,
+        id: 0,
+        label: Some("fig10".into()),
+        worker: 0,
+        claim: 0,
+        cost_hint: None,
+        wall_secs: started.elapsed().as_secs_f64(),
+        counters: None,
+    });
+    log.record_intervals(fig.records(run, 0));
+    let jsonl = log.to_jsonl(&Provenance::capture());
+    probes::report::check(&jsonl).expect("archived series passes the schema check");
+    std::fs::write("RUNLOG_gc_timeline.jsonl", &jsonl).expect("write RUNLOG_gc_timeline.jsonl");
+    println!(
+        "\nwrote RUNLOG_gc_timeline.jsonl ({} intervals; try `simreport --simstat` on it)",
+        log.interval_count()
+    );
 }

@@ -32,4 +32,13 @@ scripts/bench_smoke.sh quick
     || { echo "simreport text report is missing the worker table"; exit 1; }
 echo "==> SIMREPORT_plan.csv ($(wc -l < SIMREPORT_plan.csv) rows)"
 
+echo "==> figure 10 trace + simreport over its interval RunLog"
+cargo build --release --offline -p middlesim --bin figures
+./target/release/figures quick 10
+./target/release/simreport --check RUNLOG_figures.jsonl
+./target/release/simreport --simstat RUNLOG_figures.jsonl | grep -q "intervals x" \
+    || { echo "simstat view is missing the interval table"; exit 1; }
+./target/release/simreport --simstat-csv RUNLOG_figures.jsonl > SIMSTAT_figures.csv
+echo "==> SIMSTAT_figures.csv ($(wc -l < SIMSTAT_figures.csv) rows)"
+
 echo "CI gate passed."

@@ -131,6 +131,70 @@ fn run_log_attachment_leaves_outputs_bit_identical() {
     assert_eq!(probed_spans, 3 * jobs.len());
 }
 
+/// Interval sampling and latency histograms must also be free: running
+/// the same jobs with an `IntervalSampler` attached, latency histograms
+/// enabled, and the full telemetry streamed through `run_telemetry`
+/// leaves every merged output bit-identical to the bare run, at every
+/// worker count. The sampler only ever reads counters and the
+/// histograms only ever observe latencies the simulation already
+/// computed, so attaching them cannot perturb a single simulated event.
+#[test]
+fn interval_sampler_attachment_leaves_outputs_bit_identical() {
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let cost = |&(p, _): &(usize, u64)| middlesim::Effort::Quick.cost_hint(p);
+    let bare = ExperimentPlan::serial(middlesim::Effort::Quick).run(&jobs, |&(p, s)| measure(p, s));
+
+    let log = Arc::new(RunLog::new());
+    for threads in [1, 2, 4] {
+        let plan = ExperimentPlan::serial(middlesim::Effort::Quick)
+            .with_threads(threads)
+            .with_run_log(Arc::clone(&log), "sampled");
+        let sampled = plan.run_telemetry(&jobs, cost, |&(p, s)| {
+            let mut m = jbb(p, s);
+            m.enable_latency_hists();
+            let sampler = m.attach_observer(middlesim::IntervalSampler::new(5 * MCYCLES));
+            m.run_until(10 * MCYCLES);
+            m.begin_measurement();
+            let start = m.time();
+            m.run_until(start + 20 * MCYCLES);
+            let mut tele = middlesim::JobTelemetry::counters(Some(m.counters()));
+            if let Some(h) = m.latency_hist() {
+                tele.hists.push(("mem.latency".into(), h.clone()));
+            }
+            if let Some(h) = m.drain_hist() {
+                tele.hists.push(("cpu.store_drain".into(), h));
+            }
+            tele.intervals = m.observer(sampler).samples().to_vec();
+            (m.window_report(), tele)
+        });
+        assert_eq!(
+            bare, sampled,
+            "{threads}-thread sampled run diverged from the bare run"
+        );
+    }
+
+    // Three logged runs, each with a full telemetry set: spans with
+    // counters, a 20-Mcycle measurement window sampled at 5 Mcycles
+    // (plus warmup samples), and both histograms per job. The
+    // serialized log passes the simreport schema check.
+    assert_eq!(log.run_count(), 3);
+    assert_eq!(log.span_count(), 3 * jobs.len());
+    assert_eq!(log.hist_count(), 3 * jobs.len() * 2);
+    assert!(log.interval_count() >= 3 * jobs.len() * 4);
+    let jsonl = log.to_jsonl(&probes::Provenance {
+        git_rev: "test".into(),
+        hostname: "test".into(),
+        cpu_count: 4,
+        timestamp: 0,
+    });
+    let parsed = probes::report::check(&jsonl).expect("telemetry log passes the schema check");
+    assert!(parsed.intervals.iter().all(|iv| iv.end > iv.start));
+    assert!(parsed.hists.iter().all(|h| h.hist.count() > 0));
+}
+
 /// The official SPECjbb run protocol — speculative ramp rounds on the
 /// plan — produces the identical score structure at every worker count.
 #[test]

@@ -177,6 +177,14 @@ fn filtered_matches_broadcast_16_cpus_shared_l2() {
 }
 
 #[test]
+fn filtered_matches_broadcast_32_l2_groups() {
+    // Past the old 16-group sharer field: the two-word directory entry
+    // keeps the filter exact (and enabled — drive_shape asserts it) at
+    // 32 private-L2 groups instead of falling back to broadcast.
+    drive_shape(32, 1, 40_000, 0xD32F);
+}
+
+#[test]
 fn filtered_matches_broadcast_4_cpus_one_shared_l2() {
     // Degenerate topology: a single L2 group, nothing to snoop, filter
     // disabled — the fast path must still match broadcast exactly.
