@@ -1,7 +1,7 @@
 //! Regenerates every measured figure of the paper and reports whether the
 //! published shapes hold.
 //!
-//! Usage: `figures [quick|standard|full] [4|5|...|16|ablations|all]`
+//! Usage: `figures [quick|standard|full] [4|5|...|16|memcurve|ablations|all]`
 //!
 //! Every plan-routed experiment runs with a `RunLog` attached; the
 //! worker-occupancy record is written to `RUNLOG_figures.jsonl` on exit
@@ -141,6 +141,14 @@ fn main() {
         report("Figure 16", f.table(), f.shape_violations());
     }
 
+    if which == "all" || which == "memcurve" {
+        eprintln!("running bandwidth-latency curves...");
+        let c = figures::memcurve::run_with(&plan);
+        std::fs::write("MEMCURVE.csv", c.csv()).expect("write MEMCURVE.csv");
+        eprintln!("wrote MEMCURVE.csv ({} points)", c.points.len());
+        report("Bandwidth-latency curves", c.table(), c.shape_violations());
+    }
+
     if which == "all" || which == "ablations" {
         eprintln!("running ablations...");
         let ism = figures::ablations::run_ism(effort);
@@ -151,6 +159,12 @@ fn main() {
         report("Ablation: object cache", oc.table(), oc.shape_violations());
         let cl = figures::ablations::run_c2c_latency(effort, 8);
         report("Ablation: c2c latency", cl.table(), cl.shape_violations());
+        let mb = figures::ablations::run_mem_backend(effort, 8);
+        report(
+            "Ablation: memory backend",
+            mb.table(),
+            mb.shape_violations(),
+        );
     }
 
     if log.span_count() > 0 || log.interval_count() > 0 {

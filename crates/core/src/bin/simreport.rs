@@ -66,8 +66,20 @@ fn main() -> ExitCode {
             );
         }
         "--csv" => print!("{}", report::render_csv(&log)),
-        "--simstat" => print!("{}", report::render_simstat(&log)),
-        "--simstat-csv" => print!("{}", report::render_interval_csv(&log)),
+        "--simstat" | "--simstat-csv" => {
+            if log.intervals.is_empty() && log.hists.is_empty() {
+                eprintln!(
+                    "simreport: {path}: no interval or histogram records — this RunLog has no \
+                     time-series telemetry to render (was the run sampled?)"
+                );
+                return ExitCode::FAILURE;
+            }
+            if mode == "--simstat" {
+                print!("{}", report::render_simstat(&log));
+            } else {
+                print!("{}", report::render_interval_csv(&log));
+            }
+        }
         _ => print!("{}", report::render_text(&log)),
     }
     ExitCode::SUCCESS

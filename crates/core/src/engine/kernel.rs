@@ -138,6 +138,10 @@ struct StepSink<'a> {
     source: AccessSource,
     base_clock: u64,
     start_cycles: u64,
+    /// Whether the memory backend wants the requester's clock before
+    /// each access ([`MemorySystem::needs_clock`]); cached so flat
+    /// backends pay nothing on the hot path.
+    clocked: bool,
 }
 
 impl MemSink for StepSink<'_> {
@@ -156,6 +160,12 @@ impl MemSink for StepSink<'_> {
                     self.timer.stall_extra(stall);
                 }
             }
+        }
+        if self.clocked {
+            // The issuing processor's clock at this access: step-start
+            // clock plus cycles charged so far within the step.
+            self.mem
+                .set_now(self.base_clock + (self.timer.cycles() - self.start_cycles));
         }
         let outcome = self.mem.access(self.cpu, kind, addr);
         match kind {
@@ -349,6 +359,9 @@ impl<W: Workload> Machine<W> {
     fn os_tick(&mut self, at: u64) {
         // Kernel lines live in a reserved low region no workload uses.
         const KERNEL_GLOBALS: u64 = 0x0000_F000;
+        if self.mem.needs_clock() {
+            self.mem.set_now(at);
+        }
         let cpus = self.acct.cpus();
         for cpu in 0..cpus {
             let refs = [
@@ -378,6 +391,7 @@ impl<W: Workload> Machine<W> {
     fn step_thread(&mut self, cpu: usize) {
         let thread = self.sched.thread_on(cpu).expect("step_thread on busy cpu");
         let before = self.timers[cpu].report().cycles();
+        let clocked = self.mem.needs_clock();
         let result = {
             let mut sink = StepSink {
                 mem: &mut self.mem,
@@ -388,6 +402,7 @@ impl<W: Workload> Machine<W> {
                 source: AccessSource::Workload,
                 base_clock: self.acct.clock(cpu),
                 start_cycles: before,
+                clocked,
             };
             let mut ctx = StepCtx {
                 sink: &mut sink,
@@ -431,6 +446,7 @@ impl<W: Workload> Machine<W> {
             ..
         } = self;
         let before = timers[cpu].report().cycles();
+        let clocked = mem.needs_clock();
         let (start, end) = gc.collect(acct, sched.pset(), cpu, |at| {
             {
                 let mut sink = StepSink {
@@ -442,6 +458,7 @@ impl<W: Workload> Machine<W> {
                     source: AccessSource::Collector,
                     base_clock: at,
                     start_cycles: before,
+                    clocked,
                 };
                 workload.collect(&mut sink);
             }

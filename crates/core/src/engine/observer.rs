@@ -430,6 +430,7 @@ mod tests {
             level: HitLevel::CacheToCache,
             c2c: true,
             writeback: false,
+            mem_cycles: None,
         }
     }
 
@@ -497,6 +498,7 @@ mod tests {
             level: HitLevel::Memory,
             c2c: false,
             writeback: false,
+            mem_cycles: None,
         };
         let mk = |kind, source| AccessEvent {
             cpu: 0,
@@ -536,6 +538,7 @@ mod tests {
             level: HitLevel::L1,
             c2c: false,
             writeback: false,
+            mem_cycles: None,
         };
         let c2c = c2c_outcome();
         let mk = |addr, outcome| AccessEvent {

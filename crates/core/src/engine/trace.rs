@@ -156,6 +156,7 @@ mod tests {
             level: HitLevel::L1,
             c2c: false,
             writeback: false,
+            mem_cycles: None,
         };
         let mut obs = TraceObserver::new();
         obs.on_instructions(0, 12, AccessSource::Workload);
@@ -175,6 +176,7 @@ mod tests {
             level: HitLevel::L1,
             c2c: false,
             writeback: false,
+            mem_cycles: None,
         };
         let mut obs =
             TraceObserver::filtered(|cpu, source| cpu < 2 && source != AccessSource::KernelTick);

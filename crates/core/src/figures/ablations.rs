@@ -12,8 +12,12 @@
 //! - **Cache-to-cache latency** (Section 4.3): the E6000 pays ~40% over
 //!   memory latency; directory-based NUMA systems pay 200–300%. The
 //!   higher the penalty, the more the sharing-heavy workloads suffer.
+//! - **Memory backend** (Mess/Ramulator re-evaluation): replacing the
+//!   flat ~75-cycle memory with the banked-DRAM timing model makes
+//!   memory latency load-dependent, which taxes exactly the misses the
+//!   Figure 4/5 scaling stories are built on.
 
-use memsys::{Addr, AddrRange};
+use memsys::{Addr, AddrRange, DramConfig, MemoryConfig};
 use simcpu::LatencyTable;
 use simstats::{fnum, Table};
 use sysos::tlb::TlbConfig;
@@ -301,6 +305,96 @@ impl C2cLatency {
             if w[1].2 > w[0].2 * 1.05 {
                 v.push("ECperf throughput rose with c2c latency".into());
             }
+        }
+        v
+    }
+}
+
+/// Memory-backend ablation: SPECjbb throughput under the flat table vs
+/// the banked-DRAM timing model, at one and at `p` processors.
+#[derive(Debug, Clone)]
+pub struct MemBackendAblation {
+    /// `(processors, flat throughput, DRAM throughput)`.
+    pub points: Vec<(usize, f64, f64)>,
+    /// The scaled-up processor count.
+    pub p: usize,
+}
+
+/// Runs the flat-vs-DRAM ablation.
+pub fn run_mem_backend(effort: Effort, p: usize) -> MemBackendAblation {
+    let plan = ExperimentPlan::new(effort);
+    let dram = MemoryConfig::BankedDram(DramConfig::default());
+    let jobs = [
+        (MemoryConfig::Flat, 1),
+        (MemoryConfig::Flat, p),
+        (dram, 1),
+        (dram, p),
+    ];
+    let tputs = plan.run(&jobs, |&(memory, pset)| {
+        let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * pset, effort.scale_divisor());
+        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+        let mut mc = MachineConfig::e6000(pset);
+        mc.hierarchy.memory = memory;
+        mc.seed = 1;
+        let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
+        measure(&mut m, effort).throughput()
+    });
+    MemBackendAblation {
+        points: vec![(1, tputs[0], tputs[2]), (p, tputs[1], tputs[3])],
+        p,
+    }
+}
+
+impl MemBackendAblation {
+    /// Speedup 1 -> p under one backend column.
+    fn speedup(&self, dram: bool) -> f64 {
+        let pick = |t: &(usize, f64, f64)| if dram { t.2 } else { t.1 };
+        let base = pick(&self.points[0]).max(f64::MIN_POSITIVE);
+        pick(&self.points[self.points.len() - 1]) / base
+    }
+
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Ablation: Flat vs Banked-DRAM Memory (SPECjbb, 1 and {}p)",
+                self.p
+            ),
+            &["P", "flat tput", "DRAM tput", "DRAM/flat"],
+        );
+        for (p, flat, dram) in &self.points {
+            t.row(&[
+                p.to_string(),
+                fnum(*flat),
+                fnum(*dram),
+                format!("{:.2}", dram / flat.max(f64::MIN_POSITIVE)),
+            ]);
+        }
+        t.row(&[
+            "speedup".into(),
+            format!("{:.2}", self.speedup(false)),
+            format!("{:.2}", self.speedup(true)),
+            String::new(),
+        ]);
+        t
+    }
+
+    /// Contention can only tax throughput: the DRAM model must not beat
+    /// flat memory, and both backends must still scale.
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (p, flat, dram) in &self.points {
+            if *dram > flat * 1.02 {
+                v.push(format!(
+                    "DRAM contention helped at {p}p: {dram:.1} vs flat {flat:.1}"
+                ));
+            }
+        }
+        if self.speedup(true) <= 1.0 {
+            v.push(format!(
+                "scaling must survive the DRAM model: speedup {:.2}",
+                self.speedup(true)
+            ));
         }
         v
     }

@@ -21,7 +21,8 @@
 //! | [`fig14`] | Distribution of cache-to-cache transfers (percent) |
 //! | [`fig15`] | Distribution of cache-to-cache transfers (absolute) |
 //! | [`fig16`] | Shared-cache miss rates (CMP topologies) |
-//! | [`ablations`] | ISM pages, path length, object cache, c2c latency |
+//! | [`ablations`] | ISM pages, path length, object cache, c2c latency, memory backend |
+//! | [`memcurve`] | Mess-style bandwidth–latency curves (BankedDram) |
 
 pub mod ablations;
 pub mod fig04;
@@ -37,6 +38,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod memcurve;
 pub mod scaling;
 
 /// The paper's processor axis for the scaling figures (4–8).

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod addr;
+pub mod backend;
 pub mod bus;
 pub mod cache;
 pub mod config;
@@ -46,9 +47,10 @@ pub mod system;
 pub mod trace;
 
 pub use addr::{Addr, AddrRange, LineAddr, LINE_BITS, LINE_BYTES};
+pub use backend::{Backend, BankedDram, DramStats, FlatLatency, MemoryBackend};
 pub use bus::BusStats;
 pub use cache::{Cache, Evicted};
-pub use config::{CacheConfig, ConfigError, HierarchyConfig};
+pub use config::{CacheConfig, ConfigError, DramConfig, HierarchyConfig, MemoryConfig};
 pub use directory::Directory;
 pub use linestats::LineStats;
 pub use protocol::{BusOp, LineState};

@@ -9,10 +9,12 @@
 //! Name schema (dot-separated, `cpustat`-style):
 //! - `mem.{ifetch,load,store}.*` and `mem.writebacks` — [`SystemStats`];
 //! - `bus.*` — [`BusStats`] (the paper's `EC_snoop_cb` is `bus.snoop_cb`);
-//! - `lines.*` — [`LineStats`] window summaries.
+//! - `lines.*` — [`LineStats`] window summaries;
+//! - `dram.*` — [`DramStats`], present only with the banked-DRAM backend.
 
 use probes::registry::{ratio_ppm, CounterDesc, CounterKind, CounterSet, Snapshot};
 
+use crate::backend::DramStats;
 use crate::bus::BusStats;
 use crate::linestats::LineStats;
 use crate::stats::{KindCounters, SystemStats};
@@ -156,14 +158,59 @@ impl CounterSet for LineStats {
     }
 }
 
+static DRAM_STATS_DESCS: [CounterDesc; 9] = [
+    count("dram.reads"),
+    count("dram.writebacks"),
+    count("dram.row_hits"),
+    count("dram.row_conflicts"),
+    count("dram.queue_stalls"),
+    count("dram.stalled_cycles"),
+    count("dram.occupancy_sum"),
+    CounterDesc::new("dram.row_hit_ppm", CounterKind::Ratio),
+    CounterDesc::new("dram.mean_occupancy_ppm", CounterKind::Ratio),
+];
+
+impl CounterSet for DramStats {
+    fn descriptors(&self) -> &'static [CounterDesc] {
+        &DRAM_STATS_DESCS
+    }
+
+    fn values(&self, out: &mut Vec<u64>) {
+        let DramStats {
+            reads,
+            writebacks,
+            row_hits,
+            row_conflicts,
+            queue_stalls,
+            stalled_cycles,
+            occupancy_sum,
+        } = self;
+        out.extend([
+            *reads,
+            *writebacks,
+            *row_hits,
+            *row_conflicts,
+            *queue_stalls,
+            *stalled_cycles,
+            *occupancy_sum,
+            ratio_ppm(self.row_hit_rate()),
+            ratio_ppm(self.mean_occupancy()),
+        ]);
+    }
+}
+
 impl MemorySystem {
     /// Appends this system's counters (stats, bus, per-line summaries
-    /// when tracking is enabled) to a snapshot under construction.
+    /// when tracking is enabled, DRAM events when that backend is
+    /// configured) to a snapshot under construction.
     pub fn record_counters(&self, snap: &mut Snapshot) {
         snap.record(self.stats());
         snap.record(self.bus_stats());
         if let Some(lines) = self.line_stats() {
             snap.record(lines);
+        }
+        if let Some(dram) = self.dram_stats() {
+            snap.record(dram);
         }
     }
 
@@ -204,6 +251,23 @@ mod tests {
             snap.get("mem.c2c.percpu_total"),
             Some(sys.stats().total_c2c())
         );
+    }
+
+    #[test]
+    fn dram_panel_appears_only_with_the_dram_backend() {
+        use crate::config::{DramConfig, HierarchyConfig, MemoryConfig};
+        let flat = MemorySystem::e6000(2).unwrap();
+        assert_eq!(flat.counters().get("dram.reads"), None);
+
+        let mut b = HierarchyConfig::builder(2);
+        b.memory(MemoryConfig::BankedDram(DramConfig::default()));
+        let mut sys = MemorySystem::new(b.build().unwrap());
+        sys.access(0, AccessKind::Load, Addr(0x1000));
+        let snap = sys.counters();
+        assert!(snap.names_unique());
+        assert_eq!(snap.get("dram.reads"), Some(1));
+        assert_eq!(snap.get("dram.row_conflicts"), Some(1));
+        assert_eq!(snap.get("dram.queue_stalls"), Some(0));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct AccessOutcome {
     pub c2c: bool,
     /// Whether the fill evicted a dirty line (writeback to memory).
     pub writeback: bool,
+    /// Backend-supplied cost of a memory fill, in cycles. `None` means
+    /// the memory backend defers to the CPU model's flat latency table;
+    /// `Some` overrides it (the banked-DRAM model's load-dependent cost).
+    pub mem_cycles: Option<u64>,
 }
 
 impl AccessOutcome {
@@ -75,6 +79,7 @@ impl AccessOutcome {
             level,
             c2c: level == HitLevel::CacheToCache,
             writeback: false,
+            mem_cycles: None,
         }
     }
 }

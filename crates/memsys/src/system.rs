@@ -34,6 +34,7 @@
 use probes::Histogram;
 
 use crate::addr::Addr;
+use crate::backend::{Backend, DramStats, MemoryBackend};
 use crate::bus::BusStats;
 use crate::cache::Cache;
 use crate::config::{ConfigError, HierarchyConfig};
@@ -94,6 +95,11 @@ pub struct MemorySystem {
     /// Access-latency histogram (costs supplied by the caller); `None`
     /// until [`MemorySystem::enable_latency_hist`].
     lat_hist: Option<(LatencyCosts, Histogram)>,
+    /// The main-memory timing model consulted on every memory fill.
+    backend: Backend,
+    /// The requesting side's current cycle, fed by [`Self::set_now`] when
+    /// the backend's timing depends on it ([`Self::needs_clock`]).
+    now: u64,
 }
 
 impl MemorySystem {
@@ -142,6 +148,8 @@ impl MemorySystem {
             bus: BusStats::new(),
             linestats: None,
             lat_hist: None,
+            backend: Backend::from_config(&cfg.memory),
+            now: 0,
         }
     }
 
@@ -199,6 +207,32 @@ impl MemorySystem {
         self.lat_hist.as_ref().map(|(_, h)| h)
     }
 
+    /// Whether the memory backend's timing depends on request arrival
+    /// times. When `true`, drive [`Self::set_now`] with the requesting
+    /// processor's cycle before each [`Self::access`]; when `false`
+    /// (flat backends) the clock plumbing can be skipped entirely.
+    pub fn needs_clock(&self) -> bool {
+        self.backend.needs_clock()
+    }
+
+    /// Advances the memory backend's notion of the requester-side clock.
+    /// Non-monotonic values are fine (interleaved processor clocks):
+    /// backends only ever move forward.
+    #[inline]
+    pub fn set_now(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// The DRAM backend's event counters, if that backend is configured.
+    pub fn dram_stats(&self) -> Option<&DramStats> {
+        self.backend.dram_stats()
+    }
+
+    /// The DRAM backend's per-fill latency histogram, if kept.
+    pub fn dram_queue_hist(&self) -> Option<&Histogram> {
+        self.backend.queue_hist()
+    }
+
     /// Resets all statistics (caches keep their contents — use this to end
     /// a warm-up phase and start a measurement window).
     pub fn reset_stats(&mut self) {
@@ -210,6 +244,7 @@ impl MemorySystem {
         if let Some((_, h)) = &mut self.lat_hist {
             *h = Histogram::new();
         }
+        self.backend.reset_stats();
     }
 
     /// Number of processors.
@@ -280,7 +315,11 @@ impl MemorySystem {
         };
         self.stats.record(cpu, kind, &outcome);
         if let Some((costs, h)) = &mut self.lat_hist {
-            h.record(costs.cost(outcome.level));
+            h.record(
+                outcome
+                    .mem_cycles
+                    .unwrap_or_else(|| costs.cost(outcome.level)),
+            );
         }
         if outcome.c2c {
             if let Some(ls) = &mut self.linestats {
@@ -317,7 +356,7 @@ impl MemorySystem {
             if l1.touch_at(l1_set, l1_tag).is_some() {
                 return AccessOutcome::hit(HitLevel::L1);
             }
-            let outcome = self.read_l2(group, set, tag);
+            let outcome = self.read_l2(group, addr, set, tag);
             // The line is now MRU in the group's L2 (hit-promoted or just
             // filled). Fill the L1 — the touch above proved it absent, so
             // insert directly, no probe — and mark this cpu present.
@@ -370,7 +409,7 @@ impl MemorySystem {
         }
     }
 
-    fn read_l2(&mut self, group: usize, set: usize, tag: u64) -> AccessOutcome {
+    fn read_l2(&mut self, group: usize, addr: Addr, set: usize, tag: u64) -> AccessOutcome {
         if self.l2[group].touch_at(set, tag).is_some() {
             return AccessOutcome::hit(HitLevel::L2);
         }
@@ -392,6 +431,11 @@ impl MemorySystem {
             },
             c2c: supplied,
             writeback,
+            mem_cycles: if supplied {
+                None
+            } else {
+                self.backend.fetch(addr, self.now)
+            },
         }
     }
 
@@ -412,6 +456,11 @@ impl MemorySystem {
             },
             c2c: supplied,
             writeback,
+            mem_cycles: if supplied {
+                None
+            } else {
+                self.backend.fetch(addr, self.now)
+            },
         }
     }
 
@@ -619,6 +668,7 @@ impl MemorySystem {
                 self.invalidate_l1s_of_group(group, victim.line.base(), victim.presence);
                 if victim.state.is_dirty() {
                     self.bus.record_writeback();
+                    self.backend.writeback(victim.line.base(), self.now);
                     true
                 } else {
                     false
@@ -924,6 +974,57 @@ mod tests {
             m.access(0, AccessKind::Load, Addr(0x40 + i * 256));
         }
         m.audit_directory();
+    }
+
+    #[test]
+    fn flat_backend_defers_memory_cost() {
+        let mut m = sys(1);
+        assert!(!m.needs_clock());
+        let o = m.access(0, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.level, HitLevel::Memory);
+        assert_eq!(o.mem_cycles, None, "default backend defers to the table");
+        assert!(m.dram_stats().is_none());
+    }
+
+    #[test]
+    fn fixed_backend_stamps_memory_fills_only() {
+        use crate::config::MemoryConfig;
+        let mut b = HierarchyConfig::builder(2);
+        b.memory(MemoryConfig::FlatFixed(75));
+        let mut m = MemorySystem::new(b.build().unwrap());
+        let o = m.access(0, AccessKind::Load, Addr(0x1000));
+        assert_eq!(o.mem_cycles, Some(75));
+        let o = m.access(0, AccessKind::Load, Addr(0x1000)); // L1 hit
+        assert_eq!(o.mem_cycles, None);
+        m.access(0, AccessKind::Store, Addr(0x2000)); // dirty it
+        let o = m.access(1, AccessKind::Load, Addr(0x2000)); // c2c
+        assert_eq!(o.level, HitLevel::CacheToCache);
+        assert_eq!(o.mem_cycles, None, "cache-supplied data skips memory");
+    }
+
+    #[test]
+    fn dram_backend_stamps_load_dependent_costs_and_counts() {
+        use crate::config::{DramConfig, MemoryConfig};
+        let mut b = HierarchyConfig::builder(1);
+        b.memory(MemoryConfig::BankedDram(DramConfig::default()));
+        let mut m = MemorySystem::new(b.build().unwrap());
+        assert!(m.needs_clock());
+        let mut now = 0;
+        for i in 0..64u64 {
+            m.set_now(now);
+            let o = m.access(0, AccessKind::Load, Addr(0x10_0000 + i * 64));
+            assert_eq!(o.level, HitLevel::Memory);
+            assert!(o.mem_cycles.is_some(), "DRAM stamps every memory fill");
+            now += 200;
+        }
+        let d = m.dram_stats().unwrap();
+        assert_eq!(d.reads, 64);
+        assert!(d.row_hits > 0, "sequential lines share rows");
+        assert_eq!(m.dram_queue_hist().unwrap().count(), 64);
+        // reset_stats clears the DRAM panel with everything else.
+        m.reset_stats();
+        assert_eq!(m.dram_stats().unwrap().reads, 0);
+        assert!(m.dram_queue_hist().unwrap().is_empty());
     }
 
     #[test]

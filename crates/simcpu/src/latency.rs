@@ -7,7 +7,7 @@
 //! (AlphaServer GS320). The table is the single place where the simulator
 //! turns [`HitLevel`]s into cycles.
 
-use memsys::HitLevel;
+use memsys::{AccessOutcome, HitLevel};
 
 /// Stall cycles charged per access, by where the access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,18 @@ impl LatencyTable {
             HitLevel::Memory => self.memory,
             HitLevel::CacheToCache => self.cache_to_cache,
         }
+    }
+
+    /// Stall cycles for one access outcome: the backend-supplied memory
+    /// cost when the memory system attached one
+    /// ([`AccessOutcome::mem_cycles`], the banked-DRAM model's
+    /// load-dependent latency), otherwise this table's constant for the
+    /// hit level — the pre-backend behavior, bit for bit.
+    #[inline]
+    pub fn cost_of(&self, outcome: &AccessOutcome) -> u64 {
+        outcome
+            .mem_cycles
+            .unwrap_or_else(|| self.stall_for(outcome.level))
     }
 }
 

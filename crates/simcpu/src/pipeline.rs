@@ -130,14 +130,14 @@ impl CpuTimer {
     /// Charges an instruction-fetch outcome.
     #[inline]
     pub fn ifetch(&mut self, outcome: &AccessOutcome) {
-        self.instr_stall += self.lat.stall_for(outcome.level);
+        self.instr_stall += self.lat.cost_of(outcome);
     }
 
     /// Charges a load outcome, including its periodic RAW hazard share.
     #[inline]
     pub fn load(&mut self, outcome: &AccessOutcome) {
         self.loads += 1;
-        let stall = self.lat.stall_for(outcome.level);
+        let stall = self.lat.cost_of(outcome);
         match outcome.level {
             memsys::HitLevel::L1 => {}
             memsys::HitLevel::L2 => self.data_stall.l2_hit += stall,
@@ -155,7 +155,7 @@ impl CpuTimer {
     #[inline]
     pub fn store(&mut self, outcome: &AccessOutcome) {
         self.stores += 1;
-        let latency = self.lat.stall_for(outcome.level);
+        let latency = self.lat.cost_of(outcome);
         let now = self.cycles();
         let stall = self.storebuf.push(now, latency);
         self.data_stall.store_buffer += stall;
@@ -313,7 +313,20 @@ mod tests {
             level,
             c2c: level == HitLevel::CacheToCache,
             writeback: false,
+            mem_cycles: None,
         }
+    }
+
+    #[test]
+    fn backend_supplied_cost_overrides_the_table() {
+        let mut t = CpuTimer::e6000();
+        t.retire(100);
+        let mut o = out(HitLevel::Memory);
+        o.mem_cycles = Some(240);
+        t.load(&o);
+        assert_eq!(t.report().data_stall.memory, 240);
+        t.ifetch(&o);
+        assert_eq!(t.report().instr_stall, 240);
     }
 
     #[test]

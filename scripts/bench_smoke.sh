@@ -9,6 +9,14 @@
 #
 # Pass `quick` for a fast sanity run (CI-sized); the default Standard
 # batch is the number the ROADMAP's bench item tracks.
+#
+# After the fresh run, both BENCH jsons are diffed against the versions
+# committed at HEAD. The diff only engages when the provenance block says
+# the baseline came from the same host class (hostname + cpu_count);
+# numbers from a different machine are not comparable and are skipped
+# with a note. A >20% regression (refs/sec down, or serial batch time
+# up) prints a loud WARNING banner but does not fail the run — benches
+# on shared hosts are too noisy to gate CI on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,3 +43,78 @@ echo "==> running the memsys access bench at effort: ${effort}"
 
 echo "==> BENCH_memsys.json"
 cat BENCH_memsys.json
+
+echo "==> diffing fresh BENCH jsons against the baselines committed at HEAD"
+mkdir -p target/bench-baseline
+warn_log="target/bench-baseline/warnings.txt"
+: > "${warn_log}"
+
+# Pulls "hostname <space> cpu_count" out of a BENCH json's provenance line.
+host_class() {
+    awk '/"provenance"/ {
+        match($0, /"hostname":"[^"]*"/)
+        h = substr($0, RSTART + 12, RLENGTH - 13)
+        match($0, /"cpu_count":[0-9]+/)
+        c = substr($0, RSTART + 12, RLENGTH - 12)
+        print h, c
+        exit
+    }' "$1"
+}
+
+for f in BENCH_memsys.json BENCH_plan.json; do
+    base="target/bench-baseline/${f}"
+    if ! git show "HEAD:${f}" > "${base}" 2>/dev/null; then
+        echo "    no committed baseline for ${f} — skipping its diff"
+        continue
+    fi
+    if [ "$(host_class "${base}")" != "$(host_class "${f}")" ]; then
+        echo "    ${f}: baseline host class ($(host_class "${base}")) differs from" \
+             "this host ($(host_class "${f}")) — numbers not comparable, skipping"
+        continue
+    fi
+    case "${f}" in
+    BENCH_memsys.json)
+        # Per-shape throughput: each shape is one line carrying both the
+        # name and its refs_per_sec, in both files.
+        awk '
+            FNR == 1 { file++ }
+            /"refs_per_sec"/ {
+                match($0, /"name": "[^"]*"/)
+                name = substr($0, RSTART + 9, RLENGTH - 10)
+                match($0, /"refs_per_sec": [0-9]+/)
+                rps = substr($0, RSTART + 16, RLENGTH - 16) + 0
+                if (file == 1) base[name] = rps
+                else if (name in base && rps < 0.8 * base[name])
+                    printf "memsys %s: %d refs/s vs baseline %d (-%.0f%%)\n",
+                           name, rps, base[name], (1 - rps / base[name]) * 100
+            }' "${base}" "${f}" >> "${warn_log}"
+        ;;
+    BENCH_plan.json)
+        # Whole-batch serial wall time: lower is better, so a regression
+        # is the fresh run taking >20% longer.
+        awk '
+            FNR == 1 { file++ }
+            /"serial_secs"/ {
+                match($0, /[0-9.]+/)
+                v = substr($0, RSTART, RLENGTH) + 0
+                if (file == 1) base = v
+                else if (base > 0 && v > 1.2 * base)
+                    printf "plan serial_secs: %.3fs vs baseline %.3fs (+%.0f%%)\n",
+                           v, base, (v / base - 1) * 100
+            }' "${base}" "${f}" >> "${warn_log}"
+        ;;
+    esac
+done
+
+if [ -s "${warn_log}" ]; then
+    echo
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+    echo "!!! BENCH REGRESSION WARNING: >20% worse than the committed baseline"
+    sed 's/^/!!!   /' "${warn_log}"
+    echo "!!! Re-run scripts/bench_smoke.sh standard on a quiet host to"
+    echo "!!! confirm, then recommit the BENCH jsons if the change is real"
+    echo "!!! and intended."
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+else
+    echo "    fresh numbers are within 20% of the committed baselines."
+fi

@@ -32,8 +32,18 @@ scripts/bench_smoke.sh quick
     || { echo "simreport text report is missing the worker table"; exit 1; }
 echo "==> SIMREPORT_plan.csv ($(wc -l < SIMREPORT_plan.csv) rows)"
 
-echo "==> figure 10 trace + simreport over its interval RunLog"
+echo "==> bandwidth-latency curve figure (quick) + simreport over its RunLog"
 cargo build --release --offline -p middlesim --bin figures
+./target/release/figures quick memcurve
+./target/release/simreport --check RUNLOG_figures.jsonl
+test -s MEMCURVE.csv || { echo "figures memcurve did not write MEMCURVE.csv"; exit 1; }
+head -1 MEMCURVE.csv | grep -q "write_pct,load_permille,mean_latency" \
+    || { echo "MEMCURVE.csv is missing its header row"; exit 1; }
+echo "==> MEMCURVE.csv ($(wc -l < MEMCURVE.csv) rows)"
+
+# The figures binary rewrites RUNLOG_figures.jsonl on every invocation,
+# so the curve's log is checked above before figure 10 regenerates it.
+echo "==> figure 10 trace + simreport over its interval RunLog"
 ./target/release/figures quick 10
 ./target/release/simreport --check RUNLOG_figures.jsonl
 ./target/release/simreport --simstat RUNLOG_figures.jsonl | grep -q "intervals x" \

@@ -8,28 +8,37 @@
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
-use memsys::{Addr, AddrRange};
+use memsys::{Addr, AddrRange, DramConfig, MemoryConfig};
 use middlesim::{ExperimentPlan, Machine, MachineConfig, WindowReport};
 use probes::RunLog;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
 const MCYCLES: u64 = 1_000_000;
 
-fn jbb(pset: usize, seed: u64) -> Machine<SpecJbb> {
+fn jbb_on(pset: usize, seed: u64, memory: MemoryConfig) -> Machine<SpecJbb> {
     let cfg = SpecJbbConfig::scaled(2 * pset, 64);
     let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
     let mut mc = MachineConfig::e6000(pset);
     mc.seed = seed;
+    mc.hierarchy.memory = memory;
     Machine::new(mc, SpecJbb::new(cfg, region))
 }
 
-fn measure(pset: usize, seed: u64) -> WindowReport {
-    let mut m = jbb(pset, seed);
+fn jbb(pset: usize, seed: u64) -> Machine<SpecJbb> {
+    jbb_on(pset, seed, MemoryConfig::Flat)
+}
+
+fn measure_on(pset: usize, seed: u64, memory: MemoryConfig) -> WindowReport {
+    let mut m = jbb_on(pset, seed, memory);
     m.run_until(10 * MCYCLES);
     m.begin_measurement();
     let start = m.time();
     m.run_until(start + 20 * MCYCLES);
     m.window_report()
+}
+
+fn measure(pset: usize, seed: u64) -> WindowReport {
+    measure_on(pset, seed, MemoryConfig::Flat)
 }
 
 /// Two runs of the same seed produce the identical window report.
@@ -57,6 +66,39 @@ fn parallel_runner_matches_serial_bit_for_bit() {
         assert_eq!(
             serial, parallel,
             "{threads}-thread run diverged from the serial run"
+        );
+    }
+}
+
+/// The determinism contract holds for every memory backend, not just the
+/// flat default: a machine timed by the load-dependent `BankedDram`
+/// model reproduces its window bit-for-bit on the same seed, and the
+/// parallel runner merges the identical results at 1/2/4 workers. The
+/// DRAM backend's internal clock advances only from simulated cycles the
+/// machine feeds it, so worker scheduling must not leak into the timing.
+#[test]
+fn dram_backend_runs_are_deterministic_serial_and_parallel() {
+    let dram = MemoryConfig::BankedDram(DramConfig::default());
+    let a = measure_on(2, 7, dram);
+    let b = measure_on(2, 7, dram);
+    assert_eq!(a, b, "same seed must reproduce the DRAM-timed window");
+    assert_ne!(
+        a,
+        measure(2, 7),
+        "DRAM timing should actually change the window (else the backend is inert)"
+    );
+
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let run = |plan: &ExperimentPlan| plan.run(&jobs, |&(p, s)| measure_on(p, s, dram));
+    let serial = run(&ExperimentPlan::serial(middlesim::Effort::Quick));
+    for threads in [1, 2, 4] {
+        let parallel = run(&ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(threads));
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread DRAM-backed run diverged from the serial run"
         );
     }
 }

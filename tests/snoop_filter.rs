@@ -13,7 +13,7 @@
 //! ground-truth directory audit run along the way.
 
 use java_middleware_memsim::memsys::{
-    AccessKind, Addr, CacheConfig, HierarchyConfig, LineState, MemorySystem,
+    AccessKind, Addr, CacheConfig, Directory, HierarchyConfig, LineState, MemorySystem,
 };
 use prng::SimRng;
 
@@ -88,7 +88,10 @@ fn drive_shape(cpus: usize, cpus_per_l2: usize, steps: u64, seed: u64) {
     let cfg = tiny(cpus, cpus_per_l2);
     let mut filtered = MemorySystem::new(cfg);
     let mut broadcast = MemorySystem::new_broadcast(cfg);
-    assert_eq!(filtered.snoop_filter_enabled(), cfg.l2_count() > 1);
+    assert_eq!(
+        filtered.snoop_filter_enabled(),
+        cfg.l2_count() > 1 && cfg.l2_count() <= Directory::MAX_GROUPS
+    );
     assert!(!broadcast.snoop_filter_enabled());
 
     let mut rng = SimRng::seed_from_u64(seed);
@@ -126,7 +129,7 @@ fn drive_shape(cpus: usize, cpus_per_l2: usize, steps: u64, seed: u64) {
         bb.snoops_sent,
         "filtered and broadcast saw different snoop opportunities"
     );
-    if cfg.l2_count() > 1 {
+    if cfg.l2_count() > 1 && cfg.l2_count() <= Directory::MAX_GROUPS {
         assert!(
             fb.snoops_filtered > 0,
             "a contended run at {cpus} cpus should filter something"
@@ -182,6 +185,40 @@ fn filtered_matches_broadcast_32_l2_groups() {
     // keeps the filter exact (and enabled — drive_shape asserts it) at
     // 32 private-L2 groups instead of falling back to broadcast.
     drive_shape(32, 1, 40_000, 0xD32F);
+}
+
+#[test]
+fn filtered_matches_broadcast_at_exactly_max_groups() {
+    // The boundary the PR 5 widening moved: 64 private-L2 groups is the
+    // last shape the one-word sharer bitset tracks, so the filter must
+    // still be enabled (drive_shape asserts it) and exact there.
+    assert_eq!(Directory::MAX_GROUPS, 64);
+    drive_shape(64, 1, 30_000, 0xD64F);
+}
+
+#[test]
+fn one_past_max_groups_falls_back_to_broadcast() {
+    // 65 groups exceeds the bitset: the directory must disengage and the
+    // "filtered" system become a plain broadcast one — still exact, and
+    // filtering nothing.
+    let cfg = tiny(65, 1);
+    assert!(cfg.l2_count() > Directory::MAX_GROUPS);
+    let filtered = MemorySystem::new(cfg);
+    assert!(
+        !filtered.snoop_filter_enabled(),
+        "past MAX_GROUPS the directory must fall back to broadcast"
+    );
+    drive_shape(65, 1, 15_000, 0xD65F);
+    // drive_shape's snoops_filtered > 0 expectation is gated on the
+    // filter being on, so also pin the fallback's observable here.
+    let mut sys = MemorySystem::new(tiny(65, 1));
+    let mut rng = SimRng::seed_from_u64(0xB65);
+    for _ in 0..5_000 {
+        let (cpu, kind, addr) = next_ref(&mut rng, 65);
+        sys.access(cpu, kind, addr);
+    }
+    assert_eq!(sys.bus_stats().snoops_filtered, 0);
+    assert!(sys.bus_stats().snoops_sent > 0);
 }
 
 #[test]
