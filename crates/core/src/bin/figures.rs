@@ -1,7 +1,16 @@
 //! Regenerates every measured figure of the paper and reports whether the
 //! published shapes hold.
 //!
-//! Usage: `figures [quick|standard|full] [4|5|...|16|memcurve|ablations|all]`
+//! Usage: `figures [--sampled] [quick|standard|full]
+//!                 [4|5|...|16|10dram|memcurve|ablations|validate-sampled|all]`
+//!
+//! `--sampled` routes every plan-run experiment through the
+//! signature-picked sampling path (one seed per point, fast-forward
+//! between sample units) instead of every-cycle simulation; the unit
+//! schedules land in the run log. `validate-sampled` runs the
+//! sampled-vs-full differential matrix, writes
+//! `SAMPLED_VALIDATION.csv`, and exits non-zero if any metric breaks
+//! the error bound.
 //!
 //! Every plan-routed experiment runs with a `RunLog` attached; the
 //! worker-occupancy record is written to `RUNLOG_figures.jsonl` on exit
@@ -36,12 +45,17 @@ fn report(name: &str, table: impl std::fmt::Display, violations: Vec<String>) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let sampled = args.iter().any(|a| a == "--sampled");
+    args.retain(|a| a != "--sampled");
     let effort = effort_from(args.get(1).map(|s| s.as_str()));
     let which = args.get(2).map(|s| s.as_str()).unwrap_or("all");
     let ps = processor_axis(effort);
     let log = Arc::new(RunLog::new());
-    let plan = ExperimentPlan::new(effort).with_run_log(Arc::clone(&log), "figures");
+    let mut plan = ExperimentPlan::new(effort).with_run_log(Arc::clone(&log), "figures");
+    if sampled {
+        plan = plan.with_mode(effort.sampled_mode());
+    }
 
     let scaling_figs = ["4", "5", "6", "7", "8", "9"];
     if which == "all" || scaling_figs.contains(&which) {
@@ -76,18 +90,28 @@ fn main() {
         }
     }
 
-    if which == "all" || which == "10" {
-        eprintln!("running figure 10 trace...");
+    if which == "all" || which == "10" || which == "10dram" {
+        let dram = which == "10dram";
+        let (label, name) = if dram {
+            ("fig10dram", "Figure 10 (banked DRAM)")
+        } else {
+            ("fig10", "Figure 10")
+        };
+        eprintln!("running figure 10 trace ({label})...");
         let started = std::time::Instant::now();
-        let f = figures::fig10::run(effort, 8);
+        let f = match (dram, sampled) {
+            (true, _) => figures::fig10::run_dram(effort, 8),
+            (false, true) => figures::fig10::run_sampled(effort, 8),
+            (false, false) => figures::fig10::run(effort, 8),
+        };
         println!(
-            "## Figure 10 summary: c2c/Mcycle outside GC = {:.1}, during GC = {:.1} ({} GCs)",
+            "## {name} summary: c2c/Mcycle outside GC = {:.1}, during GC = {:.1} ({} GCs)",
             f.rate_outside_gc(),
             f.rate_during_gc(),
             f.gc_count
         );
-        // The sampled series goes into the shared log as its own run so
-        // `simreport --simstat RUNLOG_figures.jsonl` can render it.
+        // The interval series goes into the shared log as its own run
+        // so `simreport --simstat RUNLOG_figures.jsonl` can render it.
         let run = log.begin_run(RunMeta {
             tag: "figures".into(),
             effort: effort.name().into(),
@@ -97,7 +121,7 @@ fn main() {
         log.record_span(JobSpan {
             run,
             id: 0,
-            label: Some("fig10".into()),
+            label: Some(label.into()),
             worker: 0,
             claim: 0,
             cost_hint: None,
@@ -105,7 +129,7 @@ fn main() {
             counters: None,
         });
         log.record_intervals(f.records(run, 0));
-        report("Figure 10", f.table(), f.shape_violations());
+        report(name, f.table(), f.shape_violations());
     }
 
     if which == "all" || which == "11" {
@@ -165,9 +189,27 @@ fn main() {
             mb.table(),
             mb.shape_violations(),
         );
+        let mbe = figures::ablations::run_mem_backend_ecperf(effort, 2);
+        report(
+            "Ablation: memory backend (ECperf)",
+            mbe.table(),
+            mbe.shape_violations(),
+        );
     }
 
-    if log.span_count() > 0 || log.interval_count() > 0 {
+    if which == "validate-sampled" {
+        eprintln!("running sampled-vs-full differential validation...");
+        let v = figures::validate::run_with(&plan);
+        std::fs::write("SAMPLED_VALIDATION.csv", v.csv()).expect("write SAMPLED_VALIDATION.csv");
+        eprintln!("wrote SAMPLED_VALIDATION.csv ({} rows)", v.rows.len());
+        let violations = v.violations();
+        report("Sampled-vs-full validation", v.table(), violations.clone());
+        if !violations.is_empty() {
+            std::process::exit(1);
+        }
+    }
+
+    if log.span_count() > 0 || log.interval_count() > 0 || log.sample_unit_count() > 0 {
         let file =
             std::fs::File::create("RUNLOG_figures.jsonl").expect("create RUNLOG_figures.jsonl");
         log.write_to(file, &Provenance::capture())

@@ -58,11 +58,12 @@ fn main() -> ExitCode {
     match mode {
         "--check" => {
             println!(
-                "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms)",
+                "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms, {} sample units)",
                 log.runs.len(),
                 log.jobs.len(),
                 log.intervals.len(),
-                log.hists.len()
+                log.hists.len(),
+                log.sample_units.len()
             );
         }
         "--csv" => print!("{}", report::render_csv(&log)),

@@ -17,12 +17,13 @@ use probes::Histogram;
 use simcpu::{CpiReport, CpuTimer, LatencyTable, PipelineParams};
 use sysos::modes::ExecMode;
 use sysos::tlb::{Tlb, TlbConfig};
-use workloads::model::{Control, StepCtx, Workload};
+use workloads::model::{Control, StepCtx, StepResult, Workload};
 
 use super::accounting::{Accounting, WindowReport};
 use super::dispatch::{SchedParams, Scheduler};
 use super::gc_driver::GcDriver;
 use super::observer::{AccessEvent, AccessSource, ObserverHandle, ObserverSet, SimObserver};
+use super::sampling::{FastSink, SamplingState, SigCounts, SignatureCollector};
 
 /// Machine configuration.
 #[derive(Debug, Clone)]
@@ -125,6 +126,10 @@ pub struct Machine<W: Workload> {
     /// Next virtual time an attached `IntervalSampler` wants the
     /// counter tree snapshotted (`u64::MAX` when nothing samples).
     next_sample: u64,
+    /// Sampled-simulation state, present between `begin_sampling` and
+    /// `end_sampling`. When its `fast` flag is set, steps take the
+    /// functional fast-forward path instead of detailed timing.
+    sampling: Option<Box<SamplingState>>,
 }
 
 /// Sink wiring one step's references into the memory system and a CPU
@@ -142,17 +147,26 @@ struct StepSink<'a> {
     /// each access ([`MemorySystem::needs_clock`]); cached so flat
     /// backends pay nothing on the hot path.
     clocked: bool,
+    /// Signature accumulator during a sampled run (detailed units are
+    /// fingerprinted too, so cluster assignment sees every unit).
+    sig: Option<&'a mut SignatureCollector>,
 }
 
 impl MemSink for StepSink<'_> {
     fn instructions(&mut self, n: u64) {
         self.timer.retire(n);
+        if let Some(sig) = &mut self.sig {
+            sig.instructions(n);
+        }
         if !self.observers.is_empty() {
             self.observers.instructions(self.cpu, n, self.source);
         }
     }
 
     fn access(&mut self, kind: AccessKind, addr: Addr) {
+        if let Some(sig) = &mut self.sig {
+            sig.access(self.cpu, kind, addr);
+        }
         if kind.is_data() {
             if let Some(tlb) = &mut self.tlb {
                 let stall = tlb.access(addr);
@@ -219,6 +233,7 @@ impl<W: Workload> Machine<W> {
             gc: GcDriver::new(),
             observers: ObserverSet::new(),
             next_sample: u64::MAX,
+            sampling: None,
             workload,
             cfg,
         }
@@ -387,31 +402,16 @@ impl<W: Workload> Machine<W> {
         }
     }
 
-    /// Runs one thread's step on `cpu`.
-    fn step_thread(&mut self, cpu: usize) {
+    /// Runs one thread's step on `cpu`; returns the step's control so
+    /// callers can decide whether the thread can keep going.
+    fn step_thread(&mut self, cpu: usize) -> Control {
         let thread = self.sched.thread_on(cpu).expect("step_thread on busy cpu");
-        let before = self.timers[cpu].report().cycles();
-        let clocked = self.mem.needs_clock();
-        let result = {
-            let mut sink = StepSink {
-                mem: &mut self.mem,
-                timer: &mut self.timers[cpu],
-                tlb: self.tlbs.as_mut().map(|t| &mut t[cpu]),
-                cpu,
-                observers: &mut self.observers,
-                source: AccessSource::Workload,
-                base_clock: self.acct.clock(cpu),
-                start_cycles: before,
-                clocked,
-            };
-            let mut ctx = StepCtx {
-                sink: &mut sink,
-                rng: &mut self.rng,
-                now: self.acct.clock(cpu),
-            };
-            self.workload.step(thread, &mut ctx)
+        let fast = self.sampling.as_deref().is_some_and(|s| s.fast);
+        let (result, delta) = if fast {
+            self.step_fast(thread, cpu)
+        } else {
+            self.step_detailed(thread, cpu)
         };
-        let delta = self.timers[cpu].report().cycles() - before;
         self.acct.advance(cpu, result.mode, delta);
 
         match result.control {
@@ -430,6 +430,62 @@ impl<W: Workload> Machine<W> {
             Control::NeedsGc => self.run_gc(cpu),
             Control::Done => self.sched.finish(cpu),
         }
+        result.control
+    }
+
+    /// One step through the detailed timing path (the default).
+    fn step_detailed(&mut self, thread: usize, cpu: usize) -> (StepResult, u64) {
+        let before = self.timers[cpu].report().cycles();
+        let clocked = self.mem.needs_clock();
+        let result = {
+            let mut sink = StepSink {
+                mem: &mut self.mem,
+                timer: &mut self.timers[cpu],
+                tlb: self.tlbs.as_mut().map(|t| &mut t[cpu]),
+                cpu,
+                observers: &mut self.observers,
+                source: AccessSource::Workload,
+                base_clock: self.acct.clock(cpu),
+                start_cycles: before,
+                clocked,
+                sig: self.sampling.as_deref_mut().map(|s| &mut s.sig),
+            };
+            let mut ctx = StepCtx {
+                sink: &mut sink,
+                rng: &mut self.rng,
+                now: self.acct.clock(cpu),
+            };
+            self.workload.step(thread, &mut ctx)
+        };
+        let delta = self.timers[cpu].report().cycles() - before;
+        (result, delta)
+    }
+
+    /// One step through the functional fast-forward path: the workload
+    /// executes exactly as in detail (same RNG draws, same control
+    /// flow), but references only warm the caches and charge a
+    /// calibrated stall estimate instead of detailed timing.
+    fn step_fast(&mut self, thread: usize, cpu: usize) -> (StepResult, u64) {
+        let Machine {
+            mem,
+            workload,
+            rng,
+            acct,
+            sampling,
+            ..
+        } = self;
+        let state = sampling.as_deref_mut().expect("fast step without sampling");
+        let mut sink = FastSink::new(mem, state, cpu, acct.clock(cpu));
+        let result = {
+            let mut ctx = StepCtx {
+                sink: &mut sink,
+                rng,
+                now: acct.clock(cpu),
+            };
+            workload.step(thread, &mut ctx)
+        };
+        let delta = sink.charge();
+        (result, delta)
     }
 
     /// Stop-the-world collection on `cpu`.
@@ -443,27 +499,40 @@ impl<W: Workload> Machine<W> {
             gc,
             acct,
             sched,
+            sampling,
             ..
         } = self;
-        let before = timers[cpu].report().cycles();
-        let clocked = mem.needs_clock();
-        let (start, end) = gc.collect(acct, sched.pset(), cpu, |at| {
-            {
-                let mut sink = StepSink {
-                    mem,
-                    timer: &mut timers[cpu],
-                    tlb: tlbs.as_mut().map(|t| &mut t[cpu]),
-                    cpu,
-                    observers,
-                    source: AccessSource::Collector,
-                    base_clock: at,
-                    start_cycles: before,
-                    clocked,
-                };
+        let fast = sampling.as_deref().is_some_and(|s| s.fast);
+        let (start, end) = if fast {
+            let state = sampling.as_deref_mut().expect("fast gc without sampling");
+            gc.collect(acct, sched.pset(), cpu, |at| {
+                let mut sink = FastSink::new(mem, state, cpu, at);
                 workload.collect(&mut sink);
-            }
-            timers[cpu].report().cycles() - before
-        });
+                sink.charge()
+            })
+        } else {
+            let sig = sampling.as_deref_mut().map(|s| &mut s.sig);
+            let before = timers[cpu].report().cycles();
+            let clocked = mem.needs_clock();
+            gc.collect(acct, sched.pset(), cpu, |at| {
+                {
+                    let mut sink = StepSink {
+                        mem,
+                        timer: &mut timers[cpu],
+                        tlb: tlbs.as_mut().map(|t| &mut t[cpu]),
+                        cpu,
+                        observers,
+                        source: AccessSource::Collector,
+                        base_clock: at,
+                        start_cycles: before,
+                        clocked,
+                        sig,
+                    };
+                    workload.collect(&mut sink);
+                }
+                timers[cpu].report().cycles() - before
+            })
+        };
         self.observers.gc_interval(start, end);
     }
 
@@ -531,7 +600,30 @@ impl<W: Workload> Machine<W> {
                 }
                 continue;
             };
-            self.step_thread(cpu);
+            let control = self.step_thread(cpu);
+            // Fast-forward batching: a full scheduler round per step
+            // would dominate the functional path's cost, so in fast
+            // mode a thread that keeps computing is stepped several
+            // more times before control returns to the round. The rule
+            // is fixed (so determinism is untouched), the batch never
+            // crosses the horizon, the next OS tick or the next
+            // counter-sample boundary, and it ends the moment the
+            // thread blocks, finishes, or is preempted off the cpu.
+            if self.sampling.as_deref().is_some_and(|s| s.fast)
+                && matches!(control, Control::Continue | Control::TxDone)
+            {
+                const FAST_BATCH: u32 = 16;
+                let bound = horizon.min(self.next_tick).min(self.next_sample);
+                for _ in 1..FAST_BATCH {
+                    if self.acct.clock(cpu) >= bound || self.sched.thread_on(cpu).is_none() {
+                        break;
+                    }
+                    match self.step_thread(cpu) {
+                        Control::Continue | Control::TxDone => {}
+                        _ => break,
+                    }
+                }
+            }
         }
         // Close the books: idle-fill every benchmark processor to the
         // horizon so mode fractions cover the whole window.
@@ -544,6 +636,7 @@ impl<W: Workload> Machine<W> {
     /// keeping caches, heap and scheduler state warm.
     pub fn begin_measurement(&mut self) {
         self.mem.reset_stats();
+        self.workload.reset_response_hist();
         for t in &mut self.timers {
             t.reset();
         }
@@ -557,6 +650,83 @@ impl<W: Workload> Machine<W> {
             let snap = self.counters();
             self.observers.counter_sample(now, &snap);
             self.schedule_sample(now);
+        }
+    }
+
+    /// Arms the sampled-execution machinery: the functional
+    /// fast-forward clock charges `base_q8` (Q56.8 cycles per
+    /// reference, the calibrated short-stall share) plus the machine's
+    /// own latency-table cost per warming-access outcome. The machine
+    /// starts in detailed mode; flip with [`Machine::set_fast_forward`].
+    pub(crate) fn begin_sampling(&mut self, warm_every: u32, base_q8: u64) {
+        self.sampling = Some(Box::new(SamplingState::new(
+            warm_every,
+            base_q8,
+            self.cfg.latency,
+        )));
+    }
+
+    /// Tears the sampled-execution machinery down (detailed stepping
+    /// resumes unconditionally).
+    pub(crate) fn end_sampling(&mut self) {
+        self.sampling = None;
+    }
+
+    /// Switches between functional fast-forward and detailed stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Machine::begin_sampling`] armed the machinery.
+    pub(crate) fn set_fast_forward(&mut self, on: bool) {
+        self.sampling
+            .as_deref_mut()
+            .expect("set_fast_forward without begin_sampling")
+            .fast = on;
+    }
+
+    /// The fast path's current per-reference short-stall estimate (Q8).
+    pub(crate) fn fast_base_q8(&self) -> u64 {
+        self.sampling.as_deref().map_or(0, |s| s.base_q8)
+    }
+
+    /// Re-calibrates the fast path's per-reference short-stall estimate.
+    pub(crate) fn set_fast_base_q8(&mut self, q8: u64) {
+        if let Some(s) = self.sampling.as_deref_mut() {
+            s.base_q8 = q8;
+        }
+    }
+
+    /// Adjusts the functional-warming subsample factor mid-run (the
+    /// pre-warming ramp ahead of a scheduled detailed unit warms every
+    /// reference).
+    pub(crate) fn set_warm_every(&mut self, n: u32) {
+        if let Some(s) = self.sampling.as_deref_mut() {
+            s.warm_every = n.max(1);
+        }
+    }
+
+    /// Drains the signature counters accumulated since the last drain
+    /// (zeroes if sampling is not armed).
+    pub(crate) fn drain_signature(&mut self) -> SigCounts {
+        self.sampling
+            .as_deref_mut()
+            .map(|s| s.sig.drain())
+            .unwrap_or_default()
+    }
+
+    /// GC cycles since the last window reset.
+    pub(crate) fn window_gc_cycles(&self) -> u64 {
+        self.gc.window_gc_cycles()
+    }
+
+    /// Brings a clocked memory backend's notion of "now" up to virtual
+    /// time — after a fast-forwarded span, the DRAM clock would
+    /// otherwise lag and the next detailed access would see a
+    /// phantom-busy queue.
+    pub(crate) fn sync_memory_clock(&mut self) {
+        if self.mem.needs_clock() {
+            let now = self.time();
+            self.mem.set_now(now);
         }
     }
 

@@ -14,7 +14,10 @@
 //! - [`observer`] — the [`SimObserver`] seam through which interval
 //!   samplers, cache sweeps and per-line statistics watch a run;
 //! - [`trace`] — reference-trace capture as an observer on that same
-//!   seam, and replay of captures as ordinary experiment-plan jobs.
+//!   seam, and replay of captures as ordinary experiment-plan jobs;
+//! - [`sampling`] — the sampled-simulation spine: signature-picked
+//!   sample units, functional fast-forward with cache warming, and
+//!   CI-bounded extrapolation of per-unit measurements.
 //!
 //! The kernel is the only unit that touches the memory system; the
 //! scheduler and GC driver manipulate time exclusively through
@@ -27,6 +30,7 @@ pub mod gc_driver;
 pub mod kernel;
 pub mod observer;
 pub mod probe;
+pub mod sampling;
 pub mod trace;
 
 pub use accounting::{Accounting, WindowReport};
@@ -36,5 +40,8 @@ pub use kernel::{Machine, MachineConfig};
 pub use observer::{
     AccessEvent, AccessSource, IntervalSample, IntervalSampler, LineStatsObserver, ObserverHandle,
     ObserverSet, SimObserver, SweepObserver,
+};
+pub use sampling::{
+    measure_sampled, SampledRun, SamplingConfig, SimMode, UnitMeasurement, UnitRecord,
 };
 pub use trace::{replay_trace, replay_traces, ReplayReport, TraceObserver};

@@ -80,7 +80,7 @@ impl<W: Workload> Machine<W> {
     }
 
     /// The merged [`CpiReport`] over the benchmark's processor set.
-    fn pset_cpi(&self) -> CpiReport {
+    pub(crate) fn pset_cpi(&self) -> CpiReport {
         let mut cpi = CpiReport::default();
         for &c in self.pset_cpus() {
             cpi = cpi.merge(&self.timer_report(c));

@@ -18,14 +18,17 @@ use std::time::Instant;
 
 use memsys::{Addr, AddrRange};
 use probes::registry::Snapshot;
-use probes::runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};
+use probes::runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta, SampleUnitRecord};
 use probes::Histogram;
 use simstats::Summary;
 use workloads::ecperf::{Ecperf, EcperfConfig};
 use workloads::model::Workload;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::engine::{IntervalSample, Machine, MachineConfig, WindowReport};
+use crate::engine::{
+    measure_sampled, IntervalSample, Machine, MachineConfig, SampledRun, SamplingConfig, SimMode,
+    WindowReport,
+};
 
 /// Base address of the workload's memory region: above the engine's
 /// reserved kernel-tick lines, below nothing else.
@@ -97,6 +100,16 @@ impl Effort {
             Effort::Full => "full",
         }
     }
+
+    /// The sampled-mode configuration scaled to this preset's window.
+    pub fn sampling(self) -> SamplingConfig {
+        SamplingConfig::for_window(self.window())
+    }
+
+    /// The sampled [`SimMode`] for this preset.
+    pub fn sampled_mode(self) -> SimMode {
+        SimMode::Sampled(self.sampling())
+    }
 }
 
 /// Telemetry one job can ship into the run log alongside its output:
@@ -111,6 +124,10 @@ pub struct JobTelemetry {
     pub intervals: Vec<IntervalSample>,
     /// Named histograms, e.g. `("mem.latency", h)`.
     pub hists: Vec<(String, Histogram)>,
+    /// The sampled-mode unit schedule, when the job ran sampled. The
+    /// job fills `unit`/`cluster`/`weight_ppm`; the runner stamps
+    /// `run`/`id` when the records land in the log.
+    pub samples: Vec<SampleUnitRecord>,
 }
 
 impl JobTelemetry {
@@ -121,6 +138,15 @@ impl JobTelemetry {
             counters: snapshot,
             ..JobTelemetry::default()
         }
+    }
+
+    /// Attaches a sampled run's unit schedule (placeholder `run`/`id`;
+    /// the plan runner stamps the real ones at emission).
+    pub fn with_samples(mut self, sampled: Option<&SampledRun>) -> Self {
+        if let Some(s) = sampled {
+            self.samples = s.sample_units(0, 0);
+        }
+        self
     }
 }
 
@@ -151,6 +177,7 @@ pub fn largest_first_order(costs: &[u64]) -> Vec<usize> {
 #[derive(Debug, Clone)]
 pub struct ExperimentPlan {
     effort: Effort,
+    mode: SimMode,
     threads: usize,
     log: Option<LogBinding>,
     job_labels: Option<Arc<Vec<String>>>,
@@ -171,6 +198,7 @@ impl ExperimentPlan {
             .unwrap_or(1);
         ExperimentPlan {
             effort,
+            mode: SimMode::Full,
             threads,
             log: None,
             job_labels: None,
@@ -204,6 +232,20 @@ impl ExperimentPlan {
     pub fn with_job_labels(mut self, labels: Vec<String>) -> Self {
         self.job_labels = Some(Arc::new(labels));
         self
+    }
+
+    /// The same plan in a different simulation mode. Sampled mode only
+    /// changes *how* each job's window is measured (fast-forward +
+    /// extrapolation); job fan-out, merge order and determinism are
+    /// untouched.
+    pub fn with_mode(mut self, mode: SimMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The plan's simulation mode.
+    pub fn mode(&self) -> &SimMode {
+        &self.mode
     }
 
     /// The plan's effort level.
@@ -396,6 +438,13 @@ impl ExperimentPlan {
                     hist,
                 });
             }
+            binding
+                .log
+                .record_sample_units(tele.samples.into_iter().map(|mut r| {
+                    r.run = run;
+                    r.id = id;
+                    r
+                }));
         };
         if self.threads <= 1 || inputs.len() <= 1 {
             let mut slots: Vec<Option<O>> = inputs.iter().map(|_| None).collect();
@@ -456,11 +505,24 @@ impl ExperimentPlan {
             .collect()
     }
 
-    /// Runs `metric` once per seed (`0..effort.seeds()`) in parallel and
+    /// Seeds this plan replicates over: the effort's seed count in full
+    /// mode, a single seed in sampled mode — there the within-run
+    /// stratified confidence interval replaces seed replication as the
+    /// variability estimate, and dropping the replicas is where most of
+    /// the sampled wall-clock win at a fixed effort comes from.
+    pub fn seeds(&self) -> u64 {
+        if self.mode.is_sampled() {
+            1
+        } else {
+            self.effort.seeds()
+        }
+    }
+
+    /// Runs `metric` once per seed (`0..self.seeds()`) in parallel and
     /// summarizes in seed order (mean ± σ, the per-point recipe for every
     /// figure with error bars).
     pub fn run_seeds(&self, metric: impl Fn(u64) -> f64 + Sync) -> Summary {
-        let seeds: Vec<u64> = (0..self.effort.seeds()).collect();
+        let seeds: Vec<u64> = (0..self.seeds()).collect();
         let values = self.run(&seeds, |&s| metric(s));
         let mut summary = Summary::new();
         for v in values {
@@ -469,8 +531,9 @@ impl ExperimentPlan {
         summary
     }
 
-    /// Builds a machine per seed, measures one window each (in parallel),
-    /// and summarizes `metric` of the reports in seed order.
+    /// Builds a machine per seed, measures one window each (in parallel,
+    /// honoring the plan's [`SimMode`]), and summarizes `metric` of the
+    /// reports in seed order.
     pub fn measure_seeds<W, B, M>(&self, build: B, metric: M) -> Summary
     where
         W: Workload,
@@ -478,25 +541,27 @@ impl ExperimentPlan {
         M: Fn(&WindowReport, &Machine<W>) -> f64 + Sync,
     {
         let effort = self.effort;
+        let mode = self.mode.clone();
         self.run_seeds(|seed| {
             let mut m = build(seed);
-            let report = measure(&mut m, effort);
+            let (report, _) = measure_in(&mut m, effort, &mode);
             metric(&report, &m)
         })
     }
 
     /// Builds a machine per seed and returns each seed's window report,
-    /// in seed order.
+    /// in seed order (honoring the plan's [`SimMode`]).
     pub fn measure_reports<W, B>(&self, build: B) -> Vec<WindowReport>
     where
         W: Workload,
         B: Fn(u64) -> Machine<W> + Sync,
     {
         let effort = self.effort;
-        let seeds: Vec<u64> = (0..effort.seeds()).collect();
+        let mode = self.mode.clone();
+        let seeds: Vec<u64> = (0..self.seeds()).collect();
         self.run(&seeds, |&seed| {
             let mut m = build(seed);
-            measure(&mut m, effort)
+            measure_in(&mut m, effort, &mode).0
         })
     }
 }
@@ -542,6 +607,25 @@ pub fn measure<W: Workload>(machine: &mut Machine<W>, effort: Effort) -> WindowR
     let start = machine.time();
     machine.run_until(start + effort.window());
     machine.window_report()
+}
+
+/// [`measure`] under an explicit [`SimMode`]: in `Full` the report is
+/// the machine's own; in `Sampled` the warm-up fast-forwards, only the
+/// signature-picked units run in detail, and the report's timing fields
+/// are the extrapolated estimates (the [`SampledRun`] rides along for
+/// CIs and the unit schedule). The machine must be freshly built.
+pub fn measure_in<W: Workload>(
+    machine: &mut Machine<W>,
+    effort: Effort,
+    mode: &SimMode,
+) -> (WindowReport, Option<SampledRun>) {
+    match mode {
+        SimMode::Full => (measure(machine, effort), None),
+        SimMode::Sampled(cfg) => {
+            let run = measure_sampled(machine, effort.warmup(), effort.window(), cfg);
+            (run.to_window_report(), Some(run))
+        }
+    }
 }
 
 /// Runs `build` once per seed, measuring `metric` of the window report,
@@ -726,6 +810,16 @@ mod tests {
                     },
                 ],
                 hists: vec![("mem.latency".to_string(), hist)],
+                samples: vec![SampleUnitRecord {
+                    run: 0,
+                    id: 0,
+                    unit: 0,
+                    cluster: 0,
+                    start: 0,
+                    end: 200,
+                    detailed: true,
+                    weight_ppm: 1_000_000,
+                }],
             };
             (x * 7, tele)
         };

@@ -310,18 +310,32 @@ impl C2cLatency {
     }
 }
 
-/// Memory-backend ablation: SPECjbb throughput under the flat table vs
-/// the banked-DRAM timing model, at one and at `p` processors.
+/// Memory-backend ablation: one workload's throughput under the flat
+/// table vs the banked-DRAM timing model, at one and at `p` processors.
 #[derive(Debug, Clone)]
 pub struct MemBackendAblation {
     /// `(processors, flat throughput, DRAM throughput)`.
     pub points: Vec<(usize, f64, f64)>,
     /// The scaled-up processor count.
     pub p: usize,
+    /// The workload swept ("SPECjbb" or "ECperf").
+    pub workload: &'static str,
 }
 
-/// Runs the flat-vs-DRAM ablation.
+/// Runs the flat-vs-DRAM ablation on SPECjbb.
 pub fn run_mem_backend(effort: Effort, p: usize) -> MemBackendAblation {
+    run_mem_backend_in(effort, p, true)
+}
+
+/// Runs the flat-vs-DRAM ablation on ECperf. The paper's two workloads
+/// stress memory differently — ECperf's smaller footprint and its DB
+/// round-trip waits hide part of the DRAM queueing penalty that SPECjbb
+/// eats directly — so the ablation is reported for both.
+pub fn run_mem_backend_ecperf(effort: Effort, p: usize) -> MemBackendAblation {
+    run_mem_backend_in(effort, p, false)
+}
+
+fn run_mem_backend_in(effort: Effort, p: usize, jbb: bool) -> MemBackendAblation {
     let plan = ExperimentPlan::new(effort);
     let dram = MemoryConfig::BankedDram(DramConfig::default());
     let jobs = [
@@ -331,17 +345,30 @@ pub fn run_mem_backend(effort: Effort, p: usize) -> MemBackendAblation {
         (dram, p),
     ];
     let tputs = plan.run(&jobs, |&(memory, pset)| {
-        let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * pset, effort.scale_divisor());
-        let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
-        let mut mc = MachineConfig::e6000(pset);
-        mc.hierarchy.memory = memory;
-        mc.seed = 1;
-        let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
-        measure(&mut m, effort).throughput()
+        if jbb {
+            let cfg = workloads::specjbb::SpecJbbConfig::scaled(2 * pset, effort.scale_divisor());
+            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+            let mut mc = MachineConfig::e6000(pset);
+            mc.hierarchy.memory = memory;
+            mc.seed = 1;
+            let mut m = Machine::new(mc, workloads::specjbb::SpecJbb::new(cfg, region));
+            measure(&mut m, effort).throughput()
+        } else {
+            let mut cfg = EcperfConfig::scaled(10, effort.scale_divisor());
+            cfg.threads = (pset * 6).clamp(12, 96);
+            cfg.db_connections = (cfg.threads as u32 / 2).max(2);
+            let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
+            let mut mc = MachineConfig::e6000(pset);
+            mc.hierarchy.memory = memory;
+            mc.seed = 1;
+            let mut m = Machine::new(mc, Ecperf::new(cfg, region));
+            measure(&mut m, effort).throughput()
+        }
     });
     MemBackendAblation {
         points: vec![(1, tputs[0], tputs[2]), (p, tputs[1], tputs[3])],
         p,
+        workload: if jbb { "SPECjbb" } else { "ECperf" },
     }
 }
 
@@ -357,8 +384,8 @@ impl MemBackendAblation {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             format!(
-                "Ablation: Flat vs Banked-DRAM Memory (SPECjbb, 1 and {}p)",
-                self.p
+                "Ablation: Flat vs Banked-DRAM Memory ({}, 1 and {}p)",
+                self.workload, self.p
             ),
             &["P", "flat tput", "DRAM tput", "DRAM/flat"],
         );

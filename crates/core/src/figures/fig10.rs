@@ -13,12 +13,14 @@
 //! figure's y-axis, normalized per million cycles since a GC pause can
 //! stretch an interval past its nominal width.
 
-use memsys::{Addr, AddrRange};
+use memsys::{Addr, AddrRange, DramConfig, MemoryConfig};
 use probes::runlog::IntervalRecord;
 use simstats::Table;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
-use crate::engine::{IntervalSample, IntervalSampler, Machine, MachineConfig};
+use crate::engine::{
+    measure_sampled, IntervalSample, IntervalSampler, Machine, MachineConfig, SamplingConfig,
+};
 use crate::experiment::WORKLOAD_BASE;
 use crate::Effort;
 
@@ -47,18 +49,72 @@ pub struct Fig10 {
     pub interval_cycles: u64,
     /// Number of collections in the trace.
     pub gc_count: u64,
+    /// Detailed unit spans when the trace ran sampled (empty for full
+    /// runs): counter deltas inside these spans are exact, while fast
+    /// spans only see the functional-warming subsample of references.
+    pub detailed_spans: Vec<(u64, u64)>,
+    /// The warming subsample factor (1 for full runs): rates outside
+    /// `detailed_spans` are multiplied by this to undo the subsample.
+    pub warm_factor: u64,
 }
 
 /// Runs the experiment: one SPECjbb run, sampled until at least three
 /// collections (or a generous horizon) have happened.
 pub fn run(effort: Effort, pset: usize) -> Fig10 {
+    run_in(effort, pset, MemoryConfig::Flat, false)
+}
+
+/// [`run`] against the banked-DRAM backend: the same trace, but each
+/// interval's counter tree now carries `dram.queue_occupancy` and
+/// `dram.queue_stalls`, so `simreport --simstat` renders DRAM pressure
+/// over time next to the c2c series (GC's single-threaded sweep shows
+/// up as a queue-occupancy trough).
+pub fn run_dram(effort: Effort, pset: usize) -> Fig10 {
+    run_in(
+        effort,
+        pset,
+        MemoryConfig::BankedDram(DramConfig::default()),
+        false,
+    )
+}
+
+/// [`run`] through the sampled-execution spine: the trace fast-forwards
+/// between signature-picked units and the series is reconstructed by
+/// scaling fast-span intervals by the warming subsample factor.
+pub fn run_sampled(effort: Effort, pset: usize) -> Fig10 {
+    run_in(effort, pset, MemoryConfig::Flat, true)
+}
+
+fn run_in(effort: Effort, pset: usize, memory: MemoryConfig, sampled: bool) -> Fig10 {
     let cfg = SpecJbbConfig::scaled(2 * pset, SCALE_DIVISOR);
     let region = AddrRange::new(Addr(WORKLOAD_BASE), cfg.required_bytes());
     let mut mc = MachineConfig::e6000(pset);
     mc.seed = 1;
     mc.sample_interval = BUCKET_CYCLES;
+    mc.hierarchy.memory = memory;
     let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
     let sampler = m.attach_observer(IntervalSampler::new(BUCKET_CYCLES));
+    if sampled {
+        // The sampled spine owns the schedule, so the trace runs a
+        // fixed horizon instead of stopping at the third collection.
+        let window = effort.window() * 8;
+        let scfg = SamplingConfig::for_window(window);
+        let warm_factor = u64::from(scfg.warm_every);
+        let run = measure_sampled(&mut m, effort.warmup(), window, &scfg);
+        let detailed_spans = run
+            .units
+            .iter()
+            .filter(|u| u.detailed)
+            .map(|u| (u.start, u.end))
+            .collect();
+        return Fig10 {
+            intervals: m.observer(sampler).samples().to_vec(),
+            interval_cycles: BUCKET_CYCLES,
+            gc_count: m.gc_count(),
+            detailed_spans,
+            warm_factor,
+        };
+    }
     m.run_until(effort.warmup());
     m.begin_measurement();
     let start = m.time();
@@ -73,13 +129,25 @@ pub fn run(effort: Effort, pset: usize) -> Fig10 {
         intervals: m.observer(sampler).samples().to_vec(),
         interval_cycles: BUCKET_CYCLES,
         gc_count: m.gc_count(),
+        detailed_spans: Vec::new(),
+        warm_factor: 1,
     }
 }
 
 impl Fig10 {
-    /// One interval's snoop-copyback rate per million cycles.
-    fn c2c_rate(s: &IntervalSample) -> f64 {
-        s.rate_per_mcycle(C2C_COUNTER)
+    /// One interval's snoop-copyback rate per million cycles. In a
+    /// sampled trace, intervals outside the detailed unit spans only
+    /// saw the warming subsample of references, so their raw rate is
+    /// multiplied back up by `warm_factor` (intervals straddling a
+    /// span boundary are treated as fast — a bounded overestimate).
+    fn c2c_rate(&self, s: &IntervalSample) -> f64 {
+        let exact = self.warm_factor == 1
+            || self
+                .detailed_spans
+                .iter()
+                .any(|&(a, b)| a <= s.start && s.end <= b);
+        let factor = if exact { 1.0 } else { self.warm_factor as f64 };
+        s.rate_per_mcycle(C2C_COUNTER) * factor
     }
 
     fn mean(xs: impl Iterator<Item = f64>) -> f64 {
@@ -98,13 +166,18 @@ impl Fig10 {
             self.intervals
                 .iter()
                 .filter(|s| !s.gc && s.counters.get(C2C_COUNTER).unwrap_or(0) > 0)
-                .map(Self::c2c_rate),
+                .map(|s| self.c2c_rate(s)),
         )
     }
 
     /// Mean transfer rate (per Mcycle) inside GC windows.
     pub fn rate_during_gc(&self) -> f64 {
-        Self::mean(self.intervals.iter().filter(|s| s.gc).map(Self::c2c_rate))
+        Self::mean(
+            self.intervals
+                .iter()
+                .filter(|s| s.gc)
+                .map(|s| self.c2c_rate(s)),
+        )
     }
 
     /// Renders the normalized series the paper plots.
@@ -112,7 +185,7 @@ impl Fig10 {
         let max = self
             .intervals
             .iter()
-            .map(|s| Self::c2c_rate(s))
+            .map(|s| self.c2c_rate(s))
             .fold(0.0f64, f64::max)
             .max(1e-12);
         let mut t = Table::new(
@@ -122,7 +195,7 @@ impl Fig10 {
         for s in &self.intervals {
             t.row(&[
                 s.seq.to_string(),
-                format!("{:.3}", Self::c2c_rate(s) / max),
+                format!("{:.3}", self.c2c_rate(s) / max),
                 if s.gc { "GC".into() } else { String::new() },
             ]);
         }

@@ -145,7 +145,13 @@ pub fn run(effort: Effort) -> MemCurve {
 /// straight from `RUNLOG_figures.jsonl`.
 pub fn run_with(plan: &ExperimentPlan) -> MemCurve {
     let dram = DramConfig::default();
-    let n = requests(plan.effort());
+    // The backend is driven open-loop (no machine to fast-forward), so
+    // sampled mode shortens the deterministic request stream instead —
+    // each point keeps the same seeded sequence, just truncated.
+    let n = match plan.mode() {
+        crate::engine::SimMode::Full => requests(plan.effort()),
+        crate::engine::SimMode::Sampled(_) => (requests(plan.effort()) / 16).max(5_000),
+    };
     let jobs: Vec<(u32, u64)> = WRITE_MIXES
         .iter()
         .flat_map(|&w| LOAD_PERMILLE.iter().map(move |&l| (w, l)))
@@ -165,8 +171,8 @@ pub fn run_with(plan: &ExperimentPlan) -> MemCurve {
             snap.record(&stats);
             let tele = JobTelemetry {
                 counters: Some(snap),
-                intervals: Vec::new(),
                 hists: vec![("dram.queue_latency".to_string(), hist)],
+                ..JobTelemetry::default()
             };
             (point, tele)
         },

@@ -23,6 +23,7 @@
 //! | [`fig16`] | Shared-cache miss rates (CMP topologies) |
 //! | [`ablations`] | ISM pages, path length, object cache, c2c latency, memory backend |
 //! | [`memcurve`] | Mess-style bandwidth–latency curves (BankedDram) |
+//! | [`validate`] | Sampled-vs-full differential validation (error bound) |
 
 pub mod ablations;
 pub mod fig04;
@@ -40,6 +41,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod memcurve;
 pub mod scaling;
+pub mod validate;
 
 /// The paper's processor axis for the scaling figures (4–8).
 pub const PAPER_PROCESSORS: [usize; 9] = [1, 2, 4, 6, 8, 10, 12, 14, 15];

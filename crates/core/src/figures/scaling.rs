@@ -3,7 +3,7 @@
 //! derive its own series without re-simulating.
 
 use crate::engine::WindowReport;
-use crate::experiment::{ecperf_machine, jbb_machine, measure, ExperimentPlan};
+use crate::experiment::{ecperf_machine, jbb_machine, measure_in, ExperimentPlan, JobTelemetry};
 use crate::Effort;
 
 /// One processor count's worth of measurements (one report per seed).
@@ -71,7 +71,7 @@ pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
     run_scaling_with(&ExperimentPlan::new(effort), ps)
 }
 
-/// Runs both workloads over `ps`, `plan.effort().seeds()` times each.
+/// Runs both workloads over `ps`, [`ExperimentPlan::seeds`] times each.
 /// SPECjbb runs with 2P warehouses ("optimal warehouses at each system
 /// size", Section 2.1); ECperf's thread pool is tuned per processor count
 /// (Section 3.2).
@@ -80,28 +80,43 @@ pub fn run_scaling(effort: Effort, ps: &[usize]) -> ScalingData {
 /// worker pool; reports are regrouped in axis/seed order, so the result
 /// is bit-identical to a serial sweep. The sweep mixes system sizes, so
 /// jobs carry [`Effort::cost_hint`]s and the pool claims the 16-way
-/// points before the uniprocessor ones.
+/// points before the uniprocessor ones. Each job honors the plan's
+/// [`SimMode`](crate::SimMode): a sampled sweep runs one seed per point
+/// and its jobs stream their unit schedules into the run log.
 pub fn run_scaling_with(plan: &ExperimentPlan, ps: &[usize]) -> ScalingData {
     let effort = plan.effort();
+    let seeds = plan.seeds();
+    let mode = plan.mode().clone();
     let jobs: Vec<(bool, usize, u64)> = [true, false]
         .iter()
         .flat_map(|&is_jbb| {
             ps.iter()
-                .flat_map(move |&p| (0..effort.seeds()).map(move |seed| (is_jbb, p, seed)))
+                .flat_map(move |&p| (0..seeds).map(move |seed| (is_jbb, p, seed)))
+        })
+        .collect();
+    let labels = jobs
+        .iter()
+        .map(|(is_jbb, p, seed)| {
+            let wl = if *is_jbb { "jbb" } else { "ecperf" };
+            format!("scaling:{wl}:p{p}:s{seed}")
         })
         .collect();
     let mut reports = plan
-        .run_hinted(
+        .clone()
+        .with_job_labels(labels)
+        .run_telemetry(
             &jobs,
             |&(_, p, _)| effort.cost_hint(p),
             |&(is_jbb, p, seed)| {
-                if is_jbb {
+                let (report, sampled) = if is_jbb {
                     let mut m = jbb_machine(p, 2 * p, seed, effort);
-                    measure(&mut m, effort)
+                    measure_in(&mut m, effort, &mode)
                 } else {
                     let mut m = ecperf_machine(p, seed, effort);
-                    measure(&mut m, effort)
-                }
+                    measure_in(&mut m, effort, &mode)
+                };
+                let tele = JobTelemetry::default().with_samples(sampled.as_ref());
+                (report, tele)
             },
         )
         .into_iter();
@@ -109,7 +124,7 @@ pub fn run_scaling_with(plan: &ExperimentPlan, ps: &[usize]) -> ScalingData {
         ps.iter()
             .map(|&p| ScalingPoint {
                 p,
-                reports: (0..effort.seeds())
+                reports: (0..seeds)
                     .map(|_| reports.next().expect("one report per job"))
                     .collect(),
             })

@@ -23,12 +23,12 @@ pub mod score;
 
 pub use cluster::{replay_into_database, run_cluster, run_cluster_with, ClusterReport};
 pub use engine::{
-    replay_trace, replay_traces, AccessSource, IntervalSample, IntervalSampler, LineStatsObserver,
-    Machine, MachineConfig, ObserverHandle, ReplayReport, SimObserver, SweepObserver,
-    TraceObserver, WindowReport,
+    measure_sampled, replay_trace, replay_traces, AccessSource, IntervalSample, IntervalSampler,
+    LineStatsObserver, Machine, MachineConfig, ObserverHandle, ReplayReport, SampledRun,
+    SamplingConfig, SimMode, SimObserver, SweepObserver, TraceObserver, WindowReport,
 };
 pub use experiment::{
     ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, largest_first_order,
-    measure, measure_seeds, Effort, ExperimentPlan, JobTelemetry,
+    measure, measure_in, measure_seeds, Effort, ExperimentPlan, JobTelemetry,
 };
 pub use score::{official_run, official_run_with, JbbScore, RampPoint, RAMP_TOLERANCE};

@@ -165,7 +165,7 @@ static DRAM_STATS_DESCS: [CounterDesc; 9] = [
     count("dram.row_conflicts"),
     count("dram.queue_stalls"),
     count("dram.stalled_cycles"),
-    count("dram.occupancy_sum"),
+    count("dram.queue_occupancy"),
     CounterDesc::new("dram.row_hit_ppm", CounterKind::Ratio),
     CounterDesc::new("dram.mean_occupancy_ppm", CounterKind::Ratio),
 ];

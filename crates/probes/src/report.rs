@@ -31,6 +31,9 @@ pub struct ParsedLog {
     pub intervals: Vec<IntervalEntry>,
     /// Named latency histograms, in file order.
     pub hists: Vec<HistEntry>,
+    /// Sampled-mode unit schedules, in file order (`(run, id, unit)`-
+    /// sorted by the serializer).
+    pub sample_units: Vec<SampleUnitEntry>,
 }
 
 /// The `provenance` event.
@@ -113,6 +116,28 @@ pub struct HistEntry {
     pub name: String,
     /// The reconstructed histogram.
     pub hist: Histogram,
+}
+
+/// One `sample_unit` event: a fixed-cycle segment of a sampled job's
+/// measurement window with its cluster assignment and weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleUnitEntry {
+    /// Run the unit belongs to.
+    pub run: u64,
+    /// Input-order index of the job that ran it.
+    pub id: u64,
+    /// Unit sequence number within the job's window.
+    pub unit: u64,
+    /// Signature cluster the unit was assigned to.
+    pub cluster: u64,
+    /// Simulated cycle the unit starts at.
+    pub start: u64,
+    /// Simulated cycle the unit ends at (exclusive).
+    pub end: u64,
+    /// Whether the unit was simulated in detail.
+    pub detailed: bool,
+    /// Cluster population share of the window, in ppm.
+    pub weight_ppm: u64,
 }
 
 /// Parses and schema-checks a RunLog JSONL document.
@@ -261,6 +286,51 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                 }
                 log.hists.push(entry);
             }
+            "sample_unit" => {
+                let entry = SampleUnitEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    unit: req_u64(&v, "unit", lineno)?,
+                    cluster: req_u64(&v, "cluster", lineno)?,
+                    start: req_u64(&v, "start", lineno)?,
+                    end: req_u64(&v, "end", lineno)?,
+                    detailed: match v.get("detailed") {
+                        Some(Json::Bool(b)) => *b,
+                        _ => {
+                            return Err(format!(
+                                "line {lineno}: missing boolean field \"detailed\""
+                            ))
+                        }
+                    },
+                    weight_ppm: req_u64(&v, "weight_ppm", lineno)?,
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: sample_unit references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                let meta = &log.runs[entry.run as usize];
+                if entry.id >= meta.jobs {
+                    return Err(format!(
+                        "line {lineno}: sample_unit job id out of range for a {}-job run",
+                        meta.jobs
+                    ));
+                }
+                if entry.end <= entry.start {
+                    return Err(format!(
+                        "line {lineno}: sample unit [{}, {}) is empty or backwards",
+                        entry.start, entry.end
+                    ));
+                }
+                if entry.weight_ppm > 1_000_000 {
+                    return Err(format!(
+                        "line {lineno}: sample unit weight {} ppm exceeds 1e6",
+                        entry.weight_ppm
+                    ));
+                }
+                log.sample_units.push(entry);
+            }
             other => return Err(format!("line {lineno}: unknown event type {other:?}")),
         }
     }
@@ -274,6 +344,22 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                 return Err(format!(
                     "run {} job {} interval seq {} out of order (expected {})",
                     iv.run, iv.id, iv.seq, want
+                ));
+            }
+            *want += 1;
+        }
+    }
+    // Sample-unit schedules must likewise be dense per (run, job): the
+    // serializer sorts by (run, id, unit), so a gap means a dropped
+    // unit and a population weight that no longer adds up.
+    {
+        let mut next: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+        for su in &log.sample_units {
+            let want = next.entry((su.run, su.id)).or_insert(0);
+            if su.unit != *want {
+                return Err(format!(
+                    "run {} job {} sample unit {} out of order (expected {})",
+                    su.run, su.id, su.unit, want
                 ));
             }
             *want += 1;
@@ -509,17 +595,19 @@ fn csv_field(s: &str) -> String {
 
 /// Interval-table columns shown first when present; the rest of the
 /// table fills with the largest remaining counters.
-const SIMSTAT_COLS: [&str; 6] = [
+const SIMSTAT_COLS: [&str; 8] = [
     "cpustat.instr_cnt",
     "cpustat.ec_misses",
     "bus.snoop_cb",
     "bus.gets",
     "mem.writebacks",
+    "dram.queue_occupancy",
+    "dram.queue_stalls",
     "acct.window_tx",
 ];
 
 /// How many counter columns the interval table shows.
-const SIMSTAT_TABLE_COLS: usize = 6;
+const SIMSTAT_TABLE_COLS: usize = 8;
 
 /// ASCII sparkline levels, dimmest to brightest.
 const SPARK_LEVELS: &[u8] = b" .:-=+*#@";
@@ -986,6 +1074,101 @@ mod tests {
             "{prov}\n{run}\n{job}\n{{\"ev\":\"hist\",\"run\":0,\"id\":0,\"name\":\"x\",\"count\":0,\"sum\":0,\"buckets\":[0,0]}}"
         );
         assert!(check(&bad).unwrap_err().contains("buckets"));
+    }
+
+    #[test]
+    fn check_accepts_sample_unit_records() {
+        use crate::runlog::SampleUnitRecord;
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "sampled".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: Some("sampled-job".into()),
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.1,
+            counters: None,
+        });
+        // Recorded out of order; the serializer must sort by unit.
+        log.record_sample_units([
+            SampleUnitRecord {
+                run,
+                id: 0,
+                unit: 1,
+                cluster: 1,
+                start: 1000,
+                end: 2000,
+                detailed: false,
+                weight_ppm: 500_000,
+            },
+            SampleUnitRecord {
+                run,
+                id: 0,
+                unit: 0,
+                cluster: 0,
+                start: 0,
+                end: 1000,
+                detailed: true,
+                weight_ppm: 500_000,
+            },
+        ]);
+        assert_eq!(log.sample_unit_count(), 2);
+        let jsonl = log.to_jsonl(&Provenance {
+            git_rev: "abc123".into(),
+            hostname: "h".into(),
+            cpu_count: 2,
+            timestamp: 1,
+        });
+        let parsed = check(&jsonl).unwrap();
+        assert_eq!(parsed.sample_units.len(), 2);
+        assert_eq!(parsed.sample_units[0].unit, 0);
+        assert!(parsed.sample_units[0].detailed);
+        assert_eq!(parsed.sample_units[1].cluster, 1);
+    }
+
+    #[test]
+    fn check_rejects_malformed_sample_unit_records() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = "{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}";
+        let unit = |body: &str| format!("{prov}\n{run}\n{job}\n{{\"ev\":\"sample_unit\",{body}}}");
+        // Backwards window.
+        let bad = unit(
+            "\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":200,\"end\":100,\"detailed\":true,\"weight_ppm\":1",
+        );
+        assert!(check(&bad).unwrap_err().contains("empty or backwards"));
+        // Weight above 1e6 ppm.
+        let bad = unit(
+            "\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1000001",
+        );
+        assert!(check(&bad).unwrap_err().contains("exceeds 1e6"));
+        // Job id out of range.
+        let bad = unit(
+            "\"run\":0,\"id\":7,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1",
+        );
+        assert!(check(&bad).unwrap_err().contains("out of range"));
+        // Missing detailed flag.
+        let bad = unit(
+            "\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"weight_ppm\":1",
+        );
+        assert!(check(&bad).unwrap_err().contains("\"detailed\""));
+        // Gapped unit numbering.
+        let bad = unit(
+            "\"run\":0,\"id\":0,\"unit\":1,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1",
+        );
+        assert!(check(&bad).unwrap_err().contains("out of order"));
+        // Before its run event.
+        let bad = format!(
+            "{prov}\n{{\"ev\":\"sample_unit\",\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("before its run event"));
     }
 
     #[test]

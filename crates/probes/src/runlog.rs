@@ -94,6 +94,30 @@ pub struct HistRecord {
     pub hist: Histogram,
 }
 
+/// One sample unit of a sampled-mode job: a fixed-cycle segment of the
+/// measurement window, tagged with the signature cluster it was
+/// assigned to, whether it was simulated in detail, and the
+/// extrapolation weight of its cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleUnitRecord {
+    /// Which run this unit belongs to.
+    pub run: usize,
+    /// Input-order index of the job that ran it.
+    pub id: usize,
+    /// Unit sequence number within the job's window (0 first).
+    pub unit: usize,
+    /// Signature cluster the unit was assigned to.
+    pub cluster: usize,
+    /// Simulated cycle the unit starts at.
+    pub start: u64,
+    /// Simulated cycle the unit ends at (exclusive).
+    pub end: u64,
+    /// Whether the unit was simulated in detail (vs fast-forwarded).
+    pub detailed: bool,
+    /// The unit's cluster population share of the window, in ppm.
+    pub weight_ppm: u64,
+}
+
 /// A thread-safe sink for run metadata and job spans.
 ///
 /// One log may span several plan runs (bench_plan logs its serial and
@@ -110,6 +134,7 @@ struct Inner {
     spans: Vec<JobSpan>,
     intervals: Vec<IntervalRecord>,
     hists: Vec<HistRecord>,
+    sample_units: Vec<SampleUnitRecord>,
 }
 
 impl RunLog {
@@ -150,6 +175,16 @@ impl RunLog {
         self.inner.lock().expect("run log poisoned").hists.push(rec);
     }
 
+    /// Records a sampled job's unit schedule (one record per sample
+    /// unit). Worker-thread path, same locking discipline as spans.
+    pub fn record_sample_units(&self, units: impl IntoIterator<Item = SampleUnitRecord>) {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .sample_units
+            .extend(units);
+    }
+
     /// Number of runs begun so far.
     pub fn run_count(&self) -> usize {
         self.inner.lock().expect("run log poisoned").runs.len()
@@ -170,10 +205,20 @@ impl RunLog {
         self.inner.lock().expect("run log poisoned").hists.len()
     }
 
+    /// Number of sample-unit records captured so far.
+    pub fn sample_unit_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .sample_units
+            .len()
+    }
+
     /// Serializes the log as JSONL: one `provenance` line, one `run`
-    /// line per run, one `job` line per span, then `interval` and
-    /// `hist` lines. Spans are ordered by `(run, claim)`, intervals by
-    /// `(run, id, seq)`, histograms by `(run, id, name)`, so the file
+    /// line per run, one `job` line per span, then `interval`, `hist`
+    /// and `sample_unit` lines. Spans are ordered by `(run, claim)`,
+    /// intervals by `(run, id, seq)`, histograms by `(run, id, name)`,
+    /// sample units by `(run, id, unit)`, so the file
     /// is stable across thread timing — parallel runs race only in
     /// *completion* order, which is the one order we deliberately do
     /// not record.
@@ -222,6 +267,15 @@ impl RunLog {
                 h.hist.count(),
                 h.hist.sum(),
                 buckets_json(&h.hist),
+            )?;
+        }
+        let mut units: Vec<&SampleUnitRecord> = inner.sample_units.iter().collect();
+        units.sort_by_key(|u| (u.run, u.id, u.unit));
+        for u in units {
+            writeln!(
+                w,
+                "{{\"ev\":\"sample_unit\",\"run\":{},\"id\":{},\"unit\":{},\"cluster\":{},\"start\":{},\"end\":{},\"detailed\":{},\"weight_ppm\":{}}}",
+                u.run, u.id, u.unit, u.cluster, u.start, u.end, u.detailed, u.weight_ppm,
             )?;
         }
         Ok(())

@@ -966,6 +966,18 @@ impl Workload for Ecperf {
             Some(self.heap.stats().live_after_last_gc)
         }
     }
+
+    fn gc_pressure(&self) -> f64 {
+        self.heap.eden_occupancy()
+    }
+
+    fn response_hist(&self) -> Option<&Histogram> {
+        Some(Ecperf::response_hist(self))
+    }
+
+    fn reset_response_hist(&mut self) {
+        Ecperf::reset_response_hist(self)
+    }
 }
 
 #[cfg(test)]

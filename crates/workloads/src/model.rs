@@ -175,6 +175,26 @@ pub trait Workload {
     /// Heap occupancy immediately after the last collection, in bytes
     /// (the Figure 11 metric); `None` if no collection has run yet.
     fn heap_after_last_gc(&self) -> Option<u64>;
+
+    /// How close the workload is to triggering a collection, in 0..=1
+    /// (eden occupancy for the generational workloads; 0 for workloads
+    /// that never collect). The sampled-execution scheduler polls this
+    /// at unit boundaries to force detailed simulation onto units about
+    /// to contain a GC burst — a one-unit event that reactive cluster
+    /// scheduling would only catch after the fact.
+    fn gc_pressure(&self) -> f64 {
+        0.0
+    }
+
+    /// Per-transaction response-time histogram, when the workload keeps
+    /// one (`None` for workloads without a transaction notion).
+    fn response_hist(&self) -> Option<&probes::Histogram> {
+        None
+    }
+
+    /// Discards accumulated response times, so a measurement window
+    /// observes only its own transactions.
+    fn reset_response_hist(&mut self) {}
 }
 
 #[cfg(test)]

@@ -560,6 +560,18 @@ impl Workload for SpecJbb {
             Some(self.heap.stats().live_after_last_gc)
         }
     }
+
+    fn gc_pressure(&self) -> f64 {
+        self.heap.eden_occupancy()
+    }
+
+    fn response_hist(&self) -> Option<&Histogram> {
+        Some(SpecJbb::response_hist(self))
+    }
+
+    fn reset_response_hist(&mut self) {
+        SpecJbb::reset_response_hist(self)
+    }
 }
 
 #[cfg(test)]

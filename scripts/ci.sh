@@ -51,4 +51,17 @@ echo "==> figure 10 trace + simreport over its interval RunLog"
 ./target/release/simreport --simstat-csv RUNLOG_figures.jsonl > SIMSTAT_figures.csv
 echo "==> SIMSTAT_figures.csv ($(wc -l < SIMSTAT_figures.csv) rows)"
 
+# The sampled spine's correctness claim is measured, not assumed: the
+# differential matrix runs each config every-cycle and sampled, and the
+# binary exits non-zero if any metric breaks the error bound. The
+# sampled unit schedules land in the RunLog, which must still pass the
+# simreport schema check (sample_unit records included).
+echo "==> sampled-vs-full differential validation (quick)"
+./target/release/figures quick validate-sampled
+test -s SAMPLED_VALIDATION.csv || { echo "figures validate-sampled did not write SAMPLED_VALIDATION.csv"; exit 1; }
+head -1 SAMPLED_VALIDATION.csv | grep -q "config,metric,full,sampled" \
+    || { echo "SAMPLED_VALIDATION.csv is missing its header row"; exit 1; }
+./target/release/simreport --check RUNLOG_figures.jsonl
+echo "==> SAMPLED_VALIDATION.csv ($(wc -l < SAMPLED_VALIDATION.csv) rows)"
+
 echo "CI gate passed."

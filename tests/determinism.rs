@@ -237,6 +237,49 @@ fn interval_sampler_attachment_leaves_outputs_bit_identical() {
     assert!(parsed.hists.iter().all(|h| h.hist.count() > 0));
 }
 
+/// Sampled-mode runs are part of the same determinism contract: the
+/// unit schedule, cluster assignment, calibrated fast-clock base and
+/// extrapolated estimates must replay bit-for-bit on the same seed, and
+/// the plan must merge identical sampled results at 1/2/4 workers. The
+/// sampling path consumes no RNG of its own (leader clustering is
+/// insertion-ordered, the stride jitter is hashed, the fast clock is
+/// integer Q8), so nothing may depend on worker scheduling.
+#[test]
+fn sampled_runs_are_identical_serial_and_parallel() {
+    use middlesim::engine::{measure_sampled, SamplingConfig};
+
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let sample = |&(p, s): &(usize, u64)| {
+        let mut m = jbb(p, s);
+        let run = measure_sampled(
+            &mut m,
+            10 * MCYCLES,
+            20 * MCYCLES,
+            &SamplingConfig::for_window(20 * MCYCLES),
+        );
+        (
+            run.units.clone(),
+            run.base_q8,
+            run.to_window_report(),
+            run.cpi().mean.to_bits(),
+        )
+    };
+    let run = |plan: &ExperimentPlan| plan.run(&jobs, sample);
+
+    let serial = run(&ExperimentPlan::serial(middlesim::Effort::Quick));
+    assert!(serial.iter().all(|(units, ..)| !units.is_empty()));
+    for threads in [1, 2, 4] {
+        let parallel = run(&ExperimentPlan::serial(middlesim::Effort::Quick).with_threads(threads));
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread sampled run diverged from the serial run"
+        );
+    }
+}
+
 /// The official SPECjbb run protocol — speculative ramp rounds on the
 /// plan — produces the identical score structure at every worker count.
 #[test]
