@@ -3,11 +3,10 @@
 //! mechanism, and cache-to-cache latency sensitivity (Section 4.3).
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use middlesim::figures::ablations;
 use sysos::tlb::{Tlb, TlbConfig};
 
-fn run_ablations(c: &mut Criterion) {
+fn run_ablations(c: &mut bench::Harness) {
     let effort = bench_effort();
     eprintln!("running ablations at {effort:?}...");
     let ism = ablations::run_ism(effort);
@@ -29,9 +28,6 @@ fn run_ablations(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = run_ablations
+fn main() {
+    bench::run_target(run_ablations);
 }
-criterion_main!(benches);

@@ -3,11 +3,10 @@
 //! multi-size sweep kernel.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use memsys::{Addr, CacheSweep};
 use middlesim::figures::{fig12, fig13};
 
-fn figures_12_13(c: &mut Criterion) {
+fn figures_12_13(c: &mut bench::Harness) {
     let effort = bench_effort();
     eprintln!("running the Figure 12/13 uniprocessor sweeps at {effort:?}...");
     let data = fig12::run_sweeps(effort);
@@ -26,9 +25,6 @@ fn figures_12_13(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures_12_13
+fn main() {
+    bench::run_target(figures_12_13);
 }
-criterion_main!(benches);

@@ -2,11 +2,10 @@
 //! benchmarks the coherence ping-pong path.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use memsys::{AccessKind, Addr, MemorySystem};
 use middlesim::figures::{fig14, fig15};
 
-fn figures_14_15(c: &mut Criterion) {
+fn figures_14_15(c: &mut bench::Harness) {
     let effort = bench_effort();
     eprintln!("running the Figure 14/15 communication study at {effort:?}...");
     let f14 = fig14::run(effort, 8);
@@ -24,9 +23,6 @@ fn figures_14_15(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures_14_15
+fn main() {
+    bench::run_target(figures_14_15);
 }
-criterion_main!(benches);

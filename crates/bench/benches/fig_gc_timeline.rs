@@ -3,14 +3,13 @@
 //! minor collection.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use jvm::alloc::Tlab;
 use jvm::heap::{Heap, HeapConfig, HeapGeometry};
 use jvm::object::Lifetime;
 use memsys::{Addr, AddrRange, CountingSink};
 use middlesim::figures::fig10;
 
-fn figure_10(c: &mut Criterion) {
+fn figure_10(c: &mut bench::Harness) {
     let effort = bench_effort();
     eprintln!("running the Figure 10 trace at {effort:?}...");
     let fig = fig10::run(effort, 8);
@@ -55,14 +54,10 @@ fn figure_10(c: &mut Criterion) {
                 let mut sink = CountingSink::new();
                 heap.minor_gc(&mut sink);
             },
-            criterion::BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figure_10
+fn main() {
+    bench::run_target(figure_10);
 }
-criterion_main!(benches);

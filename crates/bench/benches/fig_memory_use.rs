@@ -2,7 +2,6 @@
 //! heap allocation throughput.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use jvm::alloc::Tlab;
 use jvm::heap::{Heap, HeapConfig, HeapGeometry};
 use jvm::object::Lifetime;
@@ -10,7 +9,7 @@ use memsys::{Addr, AddrRange, CountingSink};
 use middlesim::figures::fig11;
 use middlesim::Effort;
 
-fn figure_11(c: &mut Criterion) {
+fn figure_11(c: &mut bench::Harness) {
     let effort = bench_effort();
     let axis = match effort {
         Effort::Quick => &fig11::QUICK_SCALE_AXIS[..],
@@ -48,9 +47,6 @@ fn figure_11(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figure_11
+fn main() {
+    bench::run_target(figure_11);
 }
-criterion_main!(benches);

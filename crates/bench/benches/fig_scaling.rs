@@ -2,11 +2,10 @@
 //! workloads), then benchmarks the engine's window-extension kernel.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use middlesim::figures::{self, processor_axis, scaling::run_scaling};
 use middlesim::{jbb_machine, Effort};
 
-fn figures_4_to_9(c: &mut Criterion) {
+fn figures_4_to_9(c: &mut bench::Harness) {
     let effort = bench_effort();
     let ps = processor_axis(effort);
     eprintln!("running the Figure 4-9 scaling sweep over {ps:?} at {effort:?}...");
@@ -24,7 +23,7 @@ fn figures_4_to_9(c: &mut Criterion) {
     let f9 = figures::fig09::from_data(&data);
     report("Figure 9", f9.table(), f9.shape_violations());
 
-    // Criterion kernel: extend a warm 4-processor SPECjbb machine by 2M
+    // Timing kernel: extend a warm 4-processor SPECjbb machine by 2M
     // simulated cycles per iteration.
     let mut machine = jbb_machine(4, 8, 1, Effort::Quick);
     machine.run_until(10_000_000);
@@ -37,9 +36,6 @@ fn figures_4_to_9(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figures_4_to_9
+fn main() {
+    bench::run_target(figures_4_to_9);
 }
-criterion_main!(benches);

@@ -2,11 +2,10 @@
 //! a shared-L2 access path.
 
 use bench::{bench_effort, report};
-use criterion::{criterion_group, criterion_main, Criterion};
 use memsys::{AccessKind, Addr, HierarchyConfig, MemorySystem};
 use middlesim::figures::fig16;
 
-fn figure_16(c: &mut Criterion) {
+fn figure_16(c: &mut bench::Harness) {
     let effort = bench_effort();
     eprintln!("running the Figure 16 topology sweep at {effort:?}...");
     let fig = fig16::run(effort);
@@ -19,14 +18,15 @@ fn figure_16(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
-            sys.access((i % 8) as usize, AccessKind::Load, Addr((i * 64) & 0xf_ffff))
+            sys.access(
+                (i % 8) as usize,
+                AccessKind::Load,
+                Addr((i * 64) & 0xf_ffff),
+            )
         })
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = figure_16
+fn main() {
+    bench::run_target(figure_16);
 }
-criterion_main!(benches);

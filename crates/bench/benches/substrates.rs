@@ -2,7 +2,6 @@
 //! coherent memory system, the B-tree database, the bean cache and the
 //! key samplers. These track the simulator's own performance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jvm::heap::{Heap, HeapConfig, HeapGeometry};
 use memsys::{AccessKind, Addr, AddrRange, Cache, CacheConfig, CountingSink, MemorySystem};
 use prng::SimRng;
@@ -10,7 +9,7 @@ use workloads::ecperf::cache::{BeanKey, ObjectCache};
 use workloads::objtree::build_table;
 use workloads::zipf::ZipfSampler;
 
-fn substrates(c: &mut Criterion) {
+fn substrates(c: &mut bench::Harness) {
     c.bench_function("cache/1MB_touch_hit", |b| {
         let mut cache = Cache::new(CacheConfig::default());
         let _ = cache.insert(Addr(0x40), memsys::LineState::Shared);
@@ -67,9 +66,6 @@ fn substrates(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = substrates
+fn main() {
+    bench::run_target(substrates);
 }
-criterion_main!(benches);

@@ -765,6 +765,8 @@ mod tests {
             hostname: "test".into(),
             cpu_count: 1,
             timestamp: 0,
+            workers: None,
+            effort: None,
         });
         let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
         assert_eq!(parsed.jobs.len(), 2 * inputs.len());
@@ -844,6 +846,8 @@ mod tests {
                 hostname: "test".into(),
                 cpu_count: 1,
                 timestamp: 0,
+                workers: None,
+                effort: None,
             });
             let parsed = probes::report::check(&jsonl).expect("telemetry JSONL passes --check");
             assert_eq!(parsed.intervals.len(), 2 * inputs.len());

@@ -1,0 +1,240 @@
+//! The per-CPU MRU line filter: the hot path's hot path.
+//!
+//! [`MemorySystem::access`](crate::system::MemorySystem::access) already
+//! resolves an L1 hit in one set walk, but that walk still pays the
+//! access-entry prefetches (binding loads of the group's L2 set words and
+//! the line's directory slot) and the L1 set scan itself — all for a
+//! reference whose outcome, in the common repeated-touch case, is fully
+//! determined by the previous reference to the same line. The filter
+//! memoizes exactly that case: a tiny per-CPU direct-mapped array of
+//! recently-touched lines, consulted before the hierarchy walk, that
+//! short-circuits repeated hits without touching a single cache, bus, or
+//! directory structure.
+//!
+//! ## The bit-identity argument
+//!
+//! A fast-path hit must be an *architectural no-op* on the hierarchy —
+//! same outcome, same statistics, same future behavior — or it is a bug.
+//! Three invariants make that hold:
+//!
+//! 1. **An entry implies MRU-ness.** A load/ifetch entry asserts "this
+//!    line is valid in this CPU's L1 (I or D side) *and occupies its
+//!    set's MRU way*". The real path's L1 `touch` would then promote an
+//!    already-MRU line — the identity transform — so skipping it changes
+//!    no LRU order. The invariant is structural: filter slots are a pure
+//!    function of the L1 set (`slots <= sets`, both powers of two, so
+//!    same-set lines share a slot), and every full-path access that
+//!    promotes a line into an L1 set's MRU way also rewrites that set's
+//!    filter slot. Whatever was displaced from MRU loses its entry in the
+//!    same store.
+//! 2. **A dirty entry implies an idle Modified line.** A store entry
+//!    additionally asserts "the line is Modified in this group's L2 and
+//!    occupies *its* set's MRU way", which makes the real store path
+//!    (touch-hit on Modified, no state change, no bus traffic) another
+//!    identity. L2 MRU-ness cannot be tracked per-slot the way L1
+//!    MRU-ness is (many CPUs share one L2), so it is guarded by a
+//!    per-group **epoch**: bumped on every full-path access that touches
+//!    the group's L2, recorded into the entry at write time, and required
+//!    to match at lookup time. Filter hits themselves bump nothing —
+//!    they are no-ops, so entries survive arbitrarily long runs of them.
+//!    The epoch is 64-bit: a u32 could wrap back to a stale stamp.
+//! 3. **Coherence events erase entries.** Everything that removes or
+//!    demotes a line behind the filter's back clears the matching
+//!    entries: inclusion invalidations and L2 evictions clear both sides
+//!    for *every* CPU of the affected group (a store entry can exist
+//!    without L1 residency, so the L2 presence mask must not limit the
+//!    sweep), and remote-read downgrades (M→O) clear just the dirty flag
+//!    — L1 copies survive a remote read, so load entries stay live.
+//!    [`MemorySystem::reset_stats`](crate::system::MemorySystem::reset_stats)
+//!    (the measurement-window boundary) clears the whole filter; entries
+//!    would remain architecturally valid across it, but a window reset is
+//!    rare and a conservative flush keeps the invariant trivially
+//!    auditable.
+//!
+//! Exclusive-state stores are deliberately *not* fast-pathed: the silent
+//! E→M upgrade rewrites L2 state and the directory owner hint, which is
+//! not a no-op. Only already-Modified lines qualify, via the dirty flag.
+//!
+//! The filter is an optimization of `MemorySystem::new` systems only;
+//! [`MemorySystem::new_unfiltered`](crate::system::MemorySystem::new_unfiltered)
+//! builds the same system without it — the reference implementation the
+//! differential oracle (`tests/mru_filter.rs`) checks against, reference
+//! by reference.
+
+use crate::addr::Addr;
+use crate::config::HierarchyConfig;
+use crate::stats::HitLevel;
+
+/// Entry flag: the slot holds a live entry.
+const VALID: u64 = 1;
+/// Entry flag: the line is valid (and MRU) in the side's L1.
+const RESIDENT: u64 = 2;
+/// Entry flag: the line is Modified (and MRU) in the group's L2, as of
+/// the entry's epoch stamp.
+const DIRTY: u64 = 4;
+/// Low bits of a packed entry word holding the flags; the line index
+/// (byte address >> block bits) lives above them.
+const FLAG_BITS: u32 = 3;
+
+/// Per-side slot ceiling. Beyond ~64 lines per CPU the repeated-touch
+/// window the filter exploits has already moved on; below the side's L1
+/// set count the slot function stops covering every set (the invariant
+/// needs `slots <= sets`, not equality, so tiny test caches just use
+/// their set count).
+const MAX_SLOTS: usize = 64;
+
+/// The per-CPU MRU line filter. One instance serves the whole system;
+/// slots are indexed by `(cpu, side, line)`.
+#[derive(Debug, Clone)]
+pub(crate) struct MruFilter {
+    /// Block bits shared by every level (the filter only builds when L1I,
+    /// L1D and L2 agree on the block size, so one line index fits all).
+    block_bits: u32,
+    /// Slot-index masks (`slots - 1`) per side.
+    i_mask: usize,
+    d_mask: usize,
+    /// Direct-mapped entry words, `cpu * slots + (line & mask)`.
+    i_entries: Box<[u64]>,
+    d_entries: Box<[u64]>,
+    /// Epoch stamps for the data side's dirty entries (parallel to
+    /// `d_entries`; meaningless unless the entry's DIRTY flag is set).
+    d_stamps: Box<[u64]>,
+    /// Per-L2-group epoch, bumped by every full-path access that touches
+    /// the group's L2.
+    group_epoch: Box<[u64]>,
+    cpus_per_l2: usize,
+}
+
+impl MruFilter {
+    /// Builds a filter for the hierarchy, or `None` where the geometry
+    /// breaks the one-line-index assumption (an L1 block smaller than the
+    /// L2 block would need entries invalidated at sub-entry granularity).
+    pub fn new(cfg: &HierarchyConfig) -> Option<Self> {
+        if cfg.l1i.block != cfg.l2.block || cfg.l1d.block != cfg.l2.block {
+            return None;
+        }
+        let i_slots = (cfg.l1i.sets() as usize).min(MAX_SLOTS);
+        let d_slots = (cfg.l1d.sets() as usize).min(MAX_SLOTS);
+        Some(MruFilter {
+            block_bits: cfg.l2.block_bits(),
+            i_mask: i_slots - 1,
+            d_mask: d_slots - 1,
+            i_entries: vec![0; cfg.cpus * i_slots].into_boxed_slice(),
+            d_entries: vec![0; cfg.cpus * d_slots].into_boxed_slice(),
+            d_stamps: vec![0; cfg.cpus * d_slots].into_boxed_slice(),
+            group_epoch: vec![0; cfg.l2_count()].into_boxed_slice(),
+            cpus_per_l2: cfg.cpus_per_l2,
+        })
+    }
+
+    /// Whether `addr` is a recorded L1 hit for a load (`ifetch == false`)
+    /// or instruction fetch on `cpu`.
+    #[inline]
+    pub fn lookup_load(&self, cpu: usize, ifetch: bool, addr: Addr) -> bool {
+        let line = addr.0 >> self.block_bits;
+        let (entries, mask) = if ifetch {
+            (&self.i_entries, self.i_mask)
+        } else {
+            (&self.d_entries, self.d_mask)
+        };
+        let word = entries[cpu * (mask + 1) + (line as usize & mask)];
+        word >> FLAG_BITS == line && word & (VALID | RESIDENT) == VALID | RESIDENT
+    }
+
+    /// Whether a store by `cpu` to `addr` is a recorded Modified-line hit,
+    /// and at which level it completes (L1 when the L1D holds the line,
+    /// L2 otherwise — the no-write-allocate L1 never fills on a store).
+    #[inline]
+    pub fn lookup_store(&self, cpu: usize, group: usize, addr: Addr) -> Option<HitLevel> {
+        let line = addr.0 >> self.block_bits;
+        let idx = cpu * (self.d_mask + 1) + (line as usize & self.d_mask);
+        let word = self.d_entries[idx];
+        if word >> FLAG_BITS == line
+            && word & (VALID | DIRTY) == VALID | DIRTY
+            && self.d_stamps[idx] == self.group_epoch[group]
+        {
+            Some(if word & RESIDENT != 0 {
+                HitLevel::L1
+            } else {
+                HitLevel::L2
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Records that a full-path load or ifetch left `addr` MRU in `cpu`'s
+    /// L1 (always true after the path: either a touch hit promoted it or
+    /// the miss fill inserted it at MRU).
+    #[inline]
+    pub fn note_load(&mut self, cpu: usize, ifetch: bool, addr: Addr) {
+        let line = addr.0 >> self.block_bits;
+        let (entries, mask) = if ifetch {
+            (&mut self.i_entries, self.i_mask)
+        } else {
+            (&mut self.d_entries, self.d_mask)
+        };
+        entries[cpu * (mask + 1) + (line as usize & mask)] = (line << FLAG_BITS) | VALID | RESIDENT;
+    }
+
+    /// Records that a full-path store left `addr` Modified and MRU in the
+    /// group's L2 (every store path ends that way), `resident` telling
+    /// whether the write-through also hit — and so promoted — the L1D.
+    #[inline]
+    pub fn note_store(&mut self, cpu: usize, group: usize, addr: Addr, resident: bool) {
+        let line = addr.0 >> self.block_bits;
+        let idx = cpu * (self.d_mask + 1) + (line as usize & self.d_mask);
+        let res = if resident { RESIDENT } else { 0 };
+        self.d_entries[idx] = (line << FLAG_BITS) | VALID | DIRTY | res;
+        self.d_stamps[idx] = self.group_epoch[group];
+    }
+
+    /// Marks the group's L2 as perturbed: any dirty entry stamped earlier
+    /// can no longer prove its line is still MRU (or still Modified after
+    /// a neighbor's conflicting access), so its store fast path dies.
+    #[inline]
+    pub fn bump_epoch(&mut self, group: usize) {
+        self.group_epoch[group] += 1;
+    }
+
+    /// Erases every entry for `line` held by the group's CPUs, both
+    /// sides: the line was invalidated or evicted under them. Swept over
+    /// all of the group's CPUs, not a presence mask — dirty entries exist
+    /// without L1 residency, which the mask does not cover.
+    #[inline]
+    pub fn clear_line(&mut self, group: usize, line: u64) {
+        let first = group * self.cpus_per_l2;
+        for cpu in first..first + self.cpus_per_l2 {
+            let ii = cpu * (self.i_mask + 1) + (line as usize & self.i_mask);
+            if self.i_entries[ii] >> FLAG_BITS == line {
+                self.i_entries[ii] = 0;
+            }
+            let di = cpu * (self.d_mask + 1) + (line as usize & self.d_mask);
+            if self.d_entries[di] >> FLAG_BITS == line {
+                self.d_entries[di] = 0;
+            }
+        }
+    }
+
+    /// Drops the dirty claim on every entry for `line` held by the
+    /// group's CPUs: a remote read downgraded the line (M→O), so stores
+    /// must re-walk, but L1 copies survive a remote read and the
+    /// load/ifetch fast path stays live.
+    #[inline]
+    pub fn downgrade_line(&mut self, group: usize, line: u64) {
+        let first = group * self.cpus_per_l2;
+        for cpu in first..first + self.cpus_per_l2 {
+            let di = cpu * (self.d_mask + 1) + (line as usize & self.d_mask);
+            if self.d_entries[di] >> FLAG_BITS == line {
+                self.d_entries[di] &= !DIRTY;
+            }
+        }
+    }
+
+    /// Erases every entry (measurement-window boundaries). Epochs are
+    /// kept — with no entries outstanding, no stale stamp can match.
+    pub fn clear(&mut self) {
+        self.i_entries.fill(0);
+        self.d_entries.fill(0);
+    }
+}

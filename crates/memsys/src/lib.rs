@@ -36,6 +36,7 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod directory;
+mod filter;
 pub mod linestats;
 mod mem;
 pub mod probe;
@@ -57,7 +58,7 @@ pub use protocol::{BusOp, LineState};
 pub use sink::{CountingSink, MemSink, RecordingSink, TeeSink};
 pub use stats::{AccessKind, AccessOutcome, HitLevel, KindCounters, SystemStats};
 pub use sweep::{CacheSweep, SweepPoint, PAPER_SIZES};
-pub use system::{LatencyCosts, MemorySystem};
+pub use system::{BatchRef, LatencyCosts, MemorySystem};
 pub use trace::{
     AccessSource, SystemSink, SystemTrace, SystemTraceEvent, Trace, TraceEvent, TraceSink,
 };

@@ -39,6 +39,7 @@ use crate::bus::BusStats;
 use crate::cache::Cache;
 use crate::config::{ConfigError, HierarchyConfig};
 use crate::directory::Directory;
+use crate::filter::MruFilter;
 use crate::linestats::LineStats;
 use crate::protocol::{BusOp, LineState};
 use crate::stats::{AccessKind, AccessOutcome, HitLevel, SystemStats};
@@ -75,6 +76,20 @@ impl LatencyCosts {
     }
 }
 
+/// One reference of a batched run (see [`MemorySystem::access_batch`]).
+///
+/// Kept to 16 bytes so a few thousand of them stream through the host
+/// cache like the trace events they usually come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRef {
+    /// Issuing processor.
+    pub cpu: u32,
+    /// Reference kind.
+    pub kind: AccessKind,
+    /// Byte address.
+    pub addr: Addr,
+}
+
 /// A full multiprocessor cache hierarchy with snooping coherence.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
@@ -85,6 +100,11 @@ pub struct MemorySystem {
     /// Exact sharer directory; `None` on broadcast systems and trivial
     /// topologies (a single L2 group has nobody to snoop).
     dir: Option<Directory>,
+    /// Per-CPU MRU line filter short-circuiting repeated hits; `None` on
+    /// reference implementations ([`MemorySystem::new_unfiltered`],
+    /// [`MemorySystem::new_broadcast`]) and on geometries it cannot
+    /// serve (see [`MruFilter::new`]).
+    filter: Option<MruFilter>,
     /// Precomputed L2 geometry for directory keys (`tag << index_bits | set`
     /// is the raw line index every group agrees on).
     l2_index_bits: u32,
@@ -107,18 +127,29 @@ impl MemorySystem {
     /// the sharer-directory snoop filter and L1 presence tracking enabled
     /// where the topology permits.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        MemorySystem::build(cfg, /* filtered: */ true)
+        MemorySystem::build(cfg, /* filtered: */ true, /* mru: */ true)
     }
 
     /// Builds the broadcast reference implementation: every bus
     /// transaction probes every remote L2, and inclusion invalidations
     /// visit every processor of a group — the pre-filter behavior, kept as
     /// the differential oracle for the snoop filter's exactness claim.
+    /// No MRU line filter either: this is the ground truth everything
+    /// else must match.
     pub fn new_broadcast(cfg: HierarchyConfig) -> Self {
-        MemorySystem::build(cfg, false)
+        MemorySystem::build(cfg, false, false)
     }
 
-    fn build(cfg: HierarchyConfig, filtered: bool) -> Self {
+    /// Builds the system with the sharer directory but *without* the MRU
+    /// line filter: every reference walks the full hierarchy. This is the
+    /// reference implementation the filter's differential oracle
+    /// (`tests/mru_filter.rs`) compares against — one knob away from
+    /// [`MemorySystem::new`], so any divergence indicts the filter alone.
+    pub fn new_unfiltered(cfg: HierarchyConfig) -> Self {
+        MemorySystem::build(cfg, true, false)
+    }
+
+    fn build(cfg: HierarchyConfig, filtered: bool, mru: bool) -> Self {
         let l2_count = cfg.l2_count();
         // Presence masks index CPUs within a group by bit; the directory
         // indexes groups by bit. Either falls back to exhaustive loops
@@ -142,6 +173,7 @@ impl MemorySystem {
                 })
                 .collect(),
             dir,
+            filter: mru.then(|| MruFilter::new(&cfg)).flatten(),
             l2_index_bits: cfg.l2.sets().trailing_zeros(),
             l2_block_bits: cfg.l2.block_bits(),
             stats: SystemStats::new(cfg.cpus),
@@ -170,6 +202,11 @@ impl MemorySystem {
     /// Whether the sharer-directory snoop filter is active.
     pub fn snoop_filter_enabled(&self) -> bool {
         self.dir.is_some()
+    }
+
+    /// Whether the per-CPU MRU line filter is active.
+    pub fn mru_filter_enabled(&self) -> bool {
+        self.filter.is_some()
     }
 
     /// Access statistics accumulated so far.
@@ -244,6 +281,9 @@ impl MemorySystem {
         if let Some((_, h)) = &mut self.lat_hist {
             *h = Histogram::new();
         }
+        if let Some(f) = &mut self.filter {
+            f.clear();
+        }
         self.backend.reset_stats();
     }
 
@@ -283,6 +323,22 @@ impl MemorySystem {
     /// binding loads here were measured to give back more in retire
     /// pressure than their warming won.
     pub fn warm(&self, cpu: usize, kind: AccessKind, addr: Addr) {
+        // A reference the MRU filter will short-circuit never touches
+        // the hierarchy's metadata — hinting it would only waste
+        // bandwidth. The prediction can go stale (an invalidation may
+        // erase the entry before the reference issues), but a wrong
+        // skip costs one cold metadata fetch and nothing else: warming
+        // is hint-only either way.
+        if let Some(f) = &self.filter {
+            let fast = match kind {
+                AccessKind::Ifetch => f.lookup_load(cpu, true, addr),
+                AccessKind::Load => f.lookup_load(cpu, false, addr),
+                AccessKind::Store => f.lookup_store(cpu, self.cfg.l2_group(cpu), addr).is_some(),
+            };
+            if fast {
+                return;
+            }
+        }
         let l1 = match kind {
             AccessKind::Ifetch => &self.l1i[cpu],
             _ => &self.l1d[cpu],
@@ -305,6 +361,30 @@ impl MemorySystem {
     /// Panics if `cpu` is out of range.
     pub fn access(&mut self, cpu: usize, kind: AccessKind, addr: Addr) -> AccessOutcome {
         assert!(cpu < self.cfg.cpus, "cpu {cpu} out of range");
+        // MRU-filter fast path: a recorded repeated hit resolves here
+        // without walking the hierarchy. The filter's invariants (see
+        // `crate::filter`) guarantee the skipped walk would have been an
+        // architectural no-op, so only the bookkeeping every access pays
+        // — line stats, system stats, the latency histogram — runs.
+        if let Some(f) = &self.filter {
+            let level = match kind {
+                AccessKind::Ifetch if f.lookup_load(cpu, true, addr) => Some(HitLevel::L1),
+                AccessKind::Load if f.lookup_load(cpu, false, addr) => Some(HitLevel::L1),
+                AccessKind::Store => f.lookup_store(cpu, self.cfg.l2_group(cpu), addr),
+                _ => None,
+            };
+            if let Some(level) = level {
+                let outcome = AccessOutcome::hit(level);
+                if let Some(ls) = &mut self.linestats {
+                    ls.record_touch(addr.line());
+                }
+                self.stats.record(cpu, kind, &outcome);
+                if let Some((costs, h)) = &mut self.lat_hist {
+                    h.record(costs.cost(level));
+                }
+                return outcome;
+            }
+        }
         if let Some(ls) = &mut self.linestats {
             ls.record_touch(addr.line());
         }
@@ -327,6 +407,47 @@ impl MemorySystem {
             }
         }
         outcome
+    }
+
+    /// Performs a run of references in order, warming each one a few
+    /// records ahead of its issue point (the lookahead-replay structure
+    /// [`Self::warm`] describes, packaged so every batched caller gets it
+    /// for free instead of hand-rolling a warming ring).
+    ///
+    /// `each(i, outcome)` runs after reference `i` completes, exactly as
+    /// if the caller had invoked [`Self::access`] itself; returning
+    /// `Some(now)` advances the backend clock ([`Self::set_now`]) before
+    /// reference `i + 1` issues, which is how clocked (DRAM) callers
+    /// thread per-reference timestamps through a batch. The clock for
+    /// reference 0 is whatever the caller last set.
+    ///
+    /// Bit-identical to the scalar loop by construction: warming is
+    /// hint-only and the issue order is the slice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reference's `cpu` is out of range.
+    pub fn access_batch<F>(&mut self, refs: &[BatchRef], mut each: F)
+    where
+        F: FnMut(usize, &AccessOutcome) -> Option<u64>,
+    {
+        /// Records the warm cursor keeps ahead of the issue cursor —
+        /// enough lead for a metadata fetch to land; hints are free, so
+        /// the exact depth is uncritical.
+        const LOOKAHEAD: usize = 8;
+        for r in refs.iter().take(LOOKAHEAD) {
+            self.warm(r.cpu as usize, r.kind, r.addr);
+        }
+        for i in 0..refs.len() {
+            if let Some(r) = refs.get(i + LOOKAHEAD) {
+                self.warm(r.cpu as usize, r.kind, r.addr);
+            }
+            let r = refs[i];
+            let outcome = self.access(r.cpu as usize, r.kind, r.addr);
+            if let Some(now) = each(i, &outcome) {
+                self.set_now(now);
+            }
+        }
     }
 
     fn access_through(
@@ -354,6 +475,9 @@ impl MemorySystem {
             };
             let (l1_set, l1_tag) = l1.locate(addr);
             if l1.touch_at(l1_set, l1_tag).is_some() {
+                if let Some(f) = &mut self.filter {
+                    f.note_load(cpu, ifetch, addr);
+                }
                 return AccessOutcome::hit(HitLevel::L1);
             }
             let outcome = self.read_l2(group, addr, set, tag);
@@ -368,14 +492,25 @@ impl MemorySystem {
             let _ = l1.insert_at(l1_set, l1_tag, LineState::Shared);
             let bit = 1u64 << (cpu - group * self.cfg.cpus_per_l2);
             self.l2[group].or_presence_mru(set, tag, bit);
+            if let Some(f) = &mut self.filter {
+                f.note_load(cpu, ifetch, addr);
+            }
             return outcome;
         }
 
         // Stores: write-through L1 (update only if present, no allocate),
         // then act on the L2 line's coherence state. A touch hit leaves
         // the line MRU, so the E→M and S/O→M rewrites are O(1).
+        //
+        // Every store branch touches the group's L2 (a promote at least),
+        // so dirty filter entries stamped before this access can no
+        // longer prove their lines MRU: bump the epoch first, then stamp
+        // the new entry with the bumped value once the path completes.
+        if let Some(f) = &mut self.filter {
+            f.bump_epoch(group);
+        }
         let l1_hit = self.l1d[cpu].touch(addr).is_some();
-        match self.l2[group].touch_at(set, tag) {
+        let outcome = match self.l2[group].touch_at(set, tag) {
             Some(LineState::Modified) => {
                 if l1_hit {
                     AccessOutcome::hit(HitLevel::L1)
@@ -406,10 +541,21 @@ impl MemorySystem {
                 AccessOutcome::hit(HitLevel::Upgrade)
             }
             Some(LineState::Invalid) | None => self.write_miss(group, addr, set, tag),
+        };
+        // Whatever branch ran, the line is now Modified and MRU in the
+        // group's L2; record the store entry under the current epoch.
+        if let Some(f) = &mut self.filter {
+            f.note_store(cpu, group, addr, l1_hit);
         }
+        outcome
     }
 
     fn read_l2(&mut self, group: usize, addr: Addr, set: usize, tag: u64) -> AccessOutcome {
+        // Both arms perturb the group's L2 MRU order (promote or fill):
+        // older dirty filter entries lose their claim.
+        if let Some(f) = &mut self.filter {
+            f.bump_epoch(group);
+        }
         if self.l2[group].touch_at(set, tag).is_some() {
             return AccessOutcome::hit(HitLevel::L2);
         }
@@ -510,10 +656,17 @@ impl MemorySystem {
                 if state.supplies_data() {
                     supplied = true;
                 }
+                // The sharer's copy was (possibly) downgraded M→O/E→S:
+                // its CPUs' dirty filter entries must die, but their L1
+                // copies — and load entries — survive a remote read.
+                if let Some(f) = &mut self.filter {
+                    f.downgrade_line(g, key);
+                }
             }
             (supplied, sharers != 0)
         } else {
             self.bus.record_snoops(remote, 0);
+            let line = self.l2_line_key(set, tag);
             let mut any = false;
             for g in 0..self.l2.len() {
                 if g == requester {
@@ -523,6 +676,9 @@ impl MemorySystem {
                     any = true;
                     if state.supplies_data() {
                         supplied = true;
+                    }
+                    if let Some(f) = &mut self.filter {
+                        f.downgrade_line(g, line);
                     }
                 }
             }
@@ -627,6 +783,14 @@ impl MemorySystem {
     /// silent L1 evictions); it never under-approximates, which is what
     /// inclusion needs.
     fn invalidate_l1s_of_group(&mut self, group: usize, addr: Addr, mask: u64) {
+        // The line is leaving the group's L2 (snoop invalidation or
+        // eviction): every filter entry for it dies with it. This must
+        // sweep all of the group's CPUs regardless of the presence mask —
+        // a dirty entry exists without L1 residency, so `mask` (even 0)
+        // does not bound where entries live.
+        if let Some(f) = &mut self.filter {
+            f.clear_line(group, addr.0 >> self.l2_block_bits);
+        }
         if mask == 0 {
             return;
         }

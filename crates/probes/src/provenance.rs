@@ -18,6 +18,14 @@ pub struct Provenance {
     pub cpu_count: usize,
     /// UNIX timestamp (seconds) when the provenance was captured.
     pub timestamp: u64,
+    /// Worker threads the run actually used (`None` when the producer
+    /// has no worker pool). Distinct from `cpu_count`: a 16-cpu
+    /// *simulated* shape benchmarked by a single-threaded driver
+    /// records `cpu_count` = host parallelism, `workers` = 1.
+    pub workers: Option<usize>,
+    /// Effort level the run was sized at (e.g. `"quick"`), when the
+    /// producer has one.
+    pub effort: Option<String>,
 }
 
 impl Provenance {
@@ -35,29 +43,57 @@ impl Provenance {
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
+            workers: None,
+            effort: None,
         }
+    }
+
+    /// Records the worker-thread count the run used.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Records the effort level the run was sized at.
+    pub fn with_effort(mut self, effort: impl Into<String>) -> Self {
+        self.effort = Some(effort.into());
+        self
+    }
+
+    /// The optional fields as a `,"k":v` JSON suffix (empty when unset).
+    fn json_suffix(&self) -> String {
+        let mut s = String::new();
+        if let Some(w) = self.workers {
+            s.push_str(&format!(",\"workers\":{w}"));
+        }
+        if let Some(e) = &self.effort {
+            s.push_str(&format!(",\"effort\":{}", crate::json::quote(e)));
+        }
+        s
     }
 
     /// The provenance as a bare JSON object (for embedding in a
     /// `BENCH_*.json` document).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}}}",
+            "{{\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}{}}}",
             crate::json::quote(&self.git_rev),
             crate::json::quote(&self.hostname),
             self.cpu_count,
             self.timestamp,
+            self.json_suffix(),
         )
     }
 
     /// The provenance as a RunLog JSONL event line.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"ev\":\"provenance\",\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}}}",
+            "{{\"ev\":\"provenance\",\"git_rev\":{},\"hostname\":{},\"cpu_count\":{},\"timestamp\":{}{}}}",
             crate::json::quote(&self.git_rev),
             crate::json::quote(&self.hostname),
             self.cpu_count,
             self.timestamp,
+            self.json_suffix(),
         )
     }
 }
@@ -122,5 +158,18 @@ mod tests {
             line.get("timestamp").and_then(Json::as_u64),
             Some(p.timestamp)
         );
+        // Optional fields are absent until set.
+        assert!(line.get("workers").is_none());
+        assert!(line.get("effort").is_none());
+    }
+
+    #[test]
+    fn workers_and_effort_serialize_when_set() {
+        let p = Provenance::capture().with_workers(3).with_effort("quick");
+        for doc in [p.to_json(), p.to_json_line()] {
+            let obj = parse(&doc).unwrap();
+            assert_eq!(obj.get("workers").and_then(Json::as_u64), Some(3));
+            assert_eq!(obj.get("effort").and_then(Json::as_str), Some("quick"));
+        }
     }
 }

@@ -365,6 +365,39 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
             *want += 1;
         }
     }
+    // And the population weights must account for the whole window.
+    // Every unit carries its *cluster's* share (floor of pop * 1e6 /
+    // total), so units of one cluster agree on the weight and the
+    // distinct-cluster weights sum to 1_000_000 less at most one ppm of
+    // floor shortfall per cluster. A sum outside that band means the
+    // schedule lost units (or double-counted them) and every
+    // extrapolated number downstream is silently misweighted.
+    {
+        let mut by_job: std::collections::HashMap<(u64, u64), std::collections::HashMap<u64, u64>> =
+            std::collections::HashMap::new();
+        for su in &log.sample_units {
+            let clusters = by_job.entry((su.run, su.id)).or_default();
+            match clusters.insert(su.cluster, su.weight_ppm) {
+                Some(prev) if prev != su.weight_ppm => {
+                    return Err(format!(
+                        "run {} job {} cluster {}: units disagree on weight ({} vs {} ppm)",
+                        su.run, su.id, su.cluster, prev, su.weight_ppm
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for ((run, id), clusters) in &by_job {
+            let sum: u64 = clusters.values().sum();
+            let n = clusters.len() as u64;
+            if sum > 1_000_000 || 1_000_000 - sum >= n.max(1) {
+                return Err(format!(
+                    "run {run} job {id}: sample unit weights sum to {sum} ppm across {n} \
+                     clusters (expected 1000000 - rounding)",
+                ));
+            }
+        }
+    }
     if log.provenance.is_none() {
         return Err("log has no provenance event".into());
     }
@@ -899,6 +932,8 @@ mod tests {
             hostname: "h".into(),
             cpu_count: 2,
             timestamp: 1,
+            workers: None,
+            effort: None,
         })
     }
 
@@ -1031,6 +1066,8 @@ mod tests {
             hostname: "h".into(),
             cpu_count: 2,
             timestamp: 1,
+            workers: None,
+            effort: None,
         })
     }
 
@@ -1125,6 +1162,8 @@ mod tests {
             hostname: "h".into(),
             cpu_count: 2,
             timestamp: 1,
+            workers: None,
+            effort: None,
         });
         let parsed = check(&jsonl).unwrap();
         assert_eq!(parsed.sample_units.len(), 2);
@@ -1169,6 +1208,44 @@ mod tests {
             "{prov}\n{{\"ev\":\"sample_unit\",\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1}}"
         );
         assert!(check(&bad).unwrap_err().contains("before its run event"));
+    }
+
+    #[test]
+    fn check_rejects_misweighted_sample_unit_schedules() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = "{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}";
+        let unit = |n: u64, cluster: u64, w: u64| {
+            format!(
+                "{{\"ev\":\"sample_unit\",\"run\":0,\"id\":0,\"unit\":{n},\"cluster\":{cluster},\
+                 \"start\":{},\"end\":{},\"detailed\":true,\"weight_ppm\":{w}}}",
+                n * 100,
+                (n + 1) * 100,
+            )
+        };
+        let log = |units: &[String]| format!("{prov}\n{run}\n{job}\n{}", units.join("\n"));
+
+        // A lost cluster: weights stop short of the whole window.
+        let bad = log(&[unit(0, 0, 500_000)]);
+        assert!(check(&bad).unwrap_err().contains("sum to 500000 ppm"));
+        // Units of one cluster must agree on its weight.
+        let bad = log(&[unit(0, 0, 600_000), unit(1, 0, 400_000)]);
+        assert!(check(&bad).unwrap_err().contains("disagree on weight"));
+        // Floor shortfall within one ppm per cluster is fine: three
+        // clusters at 333_333 ppm leave 1 ppm unaccounted.
+        let ok = log(&[
+            unit(0, 0, 333_333),
+            unit(1, 1, 333_333),
+            unit(2, 2, 333_333),
+        ]);
+        assert_eq!(check(&ok).unwrap().sample_units.len(), 3);
+        // Repeated units of one cluster don't double-count its share.
+        let ok = log(&[
+            unit(0, 0, 500_000),
+            unit(1, 1, 500_000),
+            unit(2, 1, 500_000),
+        ]);
+        assert_eq!(check(&ok).unwrap().sample_units.len(), 3);
     }
 
     #[test]
@@ -1244,6 +1321,8 @@ mod tests {
             hostname: "h".into(),
             cpu_count: 1,
             timestamp: 0,
+            workers: None,
+            effort: None,
         });
         let parsed = check(&text).unwrap();
         let report = render_text(&parsed);

@@ -348,6 +348,8 @@ mod tests {
             hostname: "testhost".into(),
             cpu_count: 4,
             timestamp: 1_700_000_000,
+            workers: None,
+            effort: None,
         }
     }
 

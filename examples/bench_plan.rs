@@ -80,7 +80,9 @@ fn main() {
     println!("serial:   {serial_secs:.2} s");
     println!("parallel: {parallel_secs:.2} s  ({speedup:.2}x, results bit-identical)");
 
-    let prov = Provenance::capture();
+    let prov = Provenance::capture()
+        .with_workers(workers)
+        .with_effort(format!("{effort:?}").to_lowercase());
     let runlog_file = std::fs::File::create("RUNLOG_plan.jsonl").expect("create RUNLOG_plan.jsonl");
     log.write_to(runlog_file, &prov)
         .expect("write RUNLOG_plan.jsonl");

@@ -5,7 +5,7 @@
 # (BENCH_memsys.json). Both BENCH jsons carry host/commit provenance;
 # the RunLog is schema-checked and rendered with simreport.
 #
-# Usage: scripts/bench_smoke.sh [quick|standard|full]
+# Usage: scripts/bench_smoke.sh [quick|standard|full] [--gate]
 #
 # Pass `quick` for a fast sanity run (CI-sized); the default Standard
 # batch is the number the ROADMAP's bench item tracks.
@@ -15,12 +15,27 @@
 # the baseline came from the same host class (hostname + cpu_count);
 # numbers from a different machine are not comparable and are skipped
 # with a note. A >20% regression (refs/sec down, or serial batch time
-# up) prints a loud WARNING banner but does not fail the run — benches
-# on shared hosts are too noisy to gate CI on.
+# up) prints a loud WARNING banner. By default that is advisory —
+# benches on shared hosts are too noisy to hard-gate merges on — but
+# with `--gate` the script exits non-zero on any warning, for the
+# separate non-blocking CI perf job. Skipped diffs (no baseline, or a
+# host-class mismatch) never trip the gate: they carry no signal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-effort="${1:-standard}"
+effort="standard"
+gate=0
+for arg in "$@"; do
+    case "${arg}" in
+    --gate) gate=1 ;;
+    quick | standard | full) effort="${arg}" ;;
+    *)
+        echo "unknown argument: ${arg}" >&2
+        echo "usage: scripts/bench_smoke.sh [quick|standard|full] [--gate]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> building the bench examples and simreport (offline, release)"
 cargo build --release --offline --example bench_plan --example bench_memsys
@@ -49,16 +64,27 @@ mkdir -p target/bench-baseline
 warn_log="target/bench-baseline/warnings.txt"
 : > "${warn_log}"
 
-# Pulls "hostname <space> cpu_count" out of a BENCH json's provenance line.
+# Pulls "hostname <space> cpu_count <space> effort" out of a BENCH
+# json — the triple that decides whether two runs are comparable. The
+# effort comes from the provenance line when recorded there (lowercase),
+# falling back to a top-level "effort" field, else "unknown"; an
+# unknown-effort baseline predates effort provenance and is skipped.
 host_class() {
-    awk '/"provenance"/ {
-        match($0, /"hostname":"[^"]*"/)
-        h = substr($0, RSTART + 12, RLENGTH - 13)
-        match($0, /"cpu_count":[0-9]+/)
-        c = substr($0, RSTART + 12, RLENGTH - 12)
-        print h, c
-        exit
-    }' "$1"
+    awk '
+        /"provenance"/ && !seen {
+            seen = 1
+            match($0, /"hostname":"[^"]*"/)
+            h = substr($0, RSTART + 12, RLENGTH - 13)
+            match($0, /"cpu_count":[0-9]+/)
+            c = substr($0, RSTART + 12, RLENGTH - 12)
+            if (match($0, /"effort":"[^"]*"/))
+                e = tolower(substr($0, RSTART + 10, RLENGTH - 11))
+        }
+        !e && /^  "effort"/ && match($0, /: "[^"]*"/) {
+            e = tolower(substr($0, RSTART + 3, RLENGTH - 4))
+        }
+        END { print h, c, (e ? e : "unknown") }
+    ' "$1"
 }
 
 for f in BENCH_memsys.json BENCH_plan.json; do
@@ -68,8 +94,8 @@ for f in BENCH_memsys.json BENCH_plan.json; do
         continue
     fi
     if [ "$(host_class "${base}")" != "$(host_class "${f}")" ]; then
-        echo "    ${f}: baseline host class ($(host_class "${base}")) differs from" \
-             "this host ($(host_class "${f}")) — numbers not comparable, skipping"
+        echo "    ${f}: baseline class ($(host_class "${base}")) differs from" \
+             "this run ($(host_class "${f}")) — numbers not comparable, skipping"
         continue
     fi
     case "${f}" in
@@ -115,6 +141,10 @@ if [ -s "${warn_log}" ]; then
     echo "!!! confirm, then recommit the BENCH jsons if the change is real"
     echo "!!! and intended."
     echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+    if [ "${gate}" = 1 ]; then
+        echo "--gate: failing on the regression warnings above."
+        exit 1
+    fi
 else
     echo "    fresh numbers are within 20% of the committed baselines."
 fi

@@ -3,9 +3,9 @@
 #
 # Usage: scripts/ci.sh
 #
-# The bench package (crates/bench) is deliberately excluded — it needs
-# criterion, which cannot be resolved offline; build it from its own
-# directory when online.
+# crates/bench sits inside the workspace on a dependency-free timing
+# harness, so its cargo-bench targets build and run offline like
+# everything else; the gate exercises one at smoke size below.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,10 @@ cargo test -q --offline
 
 echo "==> cargo test --workspace -q (all crates, offline)"
 cargo test --workspace -q --offline
+
+echo "==> cargo bench smoke: substrate kernels on the in-workspace harness"
+MIDDLESIM_BENCH_SAMPLES=2 MIDDLESIM_BENCH_SAMPLE_MS=5 \
+    cargo bench -q --offline -p bench --bench substrates
 
 echo "==> bench smoke (quick) + simreport over its RunLog"
 scripts/bench_smoke.sh quick

@@ -157,6 +157,8 @@ fn run_log_attachment_leaves_outputs_bit_identical() {
         hostname: "test".into(),
         cpu_count: 4,
         timestamp: 0,
+        workers: None,
+        effort: None,
     });
     let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
     assert!(parsed
@@ -231,6 +233,8 @@ fn interval_sampler_attachment_leaves_outputs_bit_identical() {
         hostname: "test".into(),
         cpu_count: 4,
         timestamp: 0,
+        workers: None,
+        effort: None,
     });
     let parsed = probes::report::check(&jsonl).expect("telemetry log passes the schema check");
     assert!(parsed.intervals.iter().all(|iv| iv.end > iv.start));

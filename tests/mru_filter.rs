@@ -1,0 +1,446 @@
+//! Differential oracle for the per-CPU MRU line filter and the batched
+//! access path.
+//!
+//! [`MemorySystem::new`] short-circuits repeated hits through a small
+//! per-CPU filter; [`MemorySystem::new_unfiltered`] is the same system
+//! one knob away — sharer directory on, filter off — so any divergence
+//! indicts the filter alone. The filter's claim is *bit-identity*: a
+//! fast-path hit must be an architectural no-op, so both systems,
+//! consuming identical seeded streams over small caches (constant
+//! eviction/upgrade/invalidation churn), must agree on every per-access
+//! outcome, every statistic, the latency histogram, the bytes of a
+//! captured trace replay, and the final coherence state of every touched
+//! line. The broadcast reference runs alongside as ground truth.
+//!
+//! The batched path ([`MemorySystem::access_batch`]) carries the same
+//! claim relative to the scalar loop, including backend-clock stamping
+//! on the DRAM backend. (Sampled-mode runs drive this same filtered
+//! system through the engine's fast sink; their bit-determinism is held
+//! by `tests/determinism.rs` and their accuracy bounds by the
+//! validate-sampled differential matrix.)
+
+use java_middleware_memsim::memsys::{
+    AccessKind, AccessOutcome, Addr, BatchRef, CacheConfig, DramConfig, HierarchyConfig, HitLevel,
+    LatencyCosts, MemoryConfig, MemorySystem, SystemTrace,
+};
+use prng::SimRng;
+
+/// Small hierarchy so the working set below overflows everything. The
+/// 1 KB L1s have 8 sets — fewer than the filter's 64-slot ceiling — so
+/// the slots-equal-sets geometry is exercised alongside the big one.
+fn tiny(cpus: usize, cpus_per_l2: usize) -> HierarchyConfig {
+    let mut b = HierarchyConfig::builder(cpus);
+    b.l1i(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l1d(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l2(CacheConfig::new(8 << 10, 4, 64).unwrap());
+    b.cpus_per_l2(cpus_per_l2);
+    b.build().unwrap()
+}
+
+const COSTS: LatencyCosts = LatencyCosts {
+    l1: 1,
+    l2: 10,
+    upgrade: 20,
+    c2c: 105,
+    memory: 75,
+};
+
+/// One seeded reference with deliberate within-line re-touch runs (the
+/// case the filter exists for) layered over the snoop-filter oracle's
+/// shared/private/hot-line mix, so fast-path hits, full-path walks, and
+/// every invalidation reason interleave densely.
+fn next_ref(rng: &mut SimRng, cpus: usize) -> (usize, AccessKind, Addr) {
+    let r = rng.next_u64();
+    let cpu = (r % cpus as u64) as usize;
+    let roll = (r >> 8) % 100;
+    let kind = if roll < 35 {
+        AccessKind::Ifetch
+    } else if roll < 70 {
+        AccessKind::Load
+    } else {
+        AccessKind::Store
+    };
+    let pick = (r >> 16) % 100;
+    let line = (r >> 32) % 192; // > 128-line L2: conflict misses guaranteed
+    let addr = if pick < 45 {
+        0x1000 + line * 64 // shared region
+    } else if pick < 85 {
+        0x10_0000 + (cpu as u64) * 0x1_0000 + line * 64 // private region
+    } else {
+        0x9000 // one hot contended line
+    };
+    (cpu, kind, Addr(addr))
+}
+
+/// Drives filtered, unfiltered and broadcast systems in lockstep and
+/// checks bit-identity at every step, plus aggregate and final state.
+fn drive_shape(cpus: usize, cpus_per_l2: usize, steps: u64, seed: u64) {
+    let cfg = tiny(cpus, cpus_per_l2);
+    let mut filtered = MemorySystem::new(cfg);
+    let mut unfiltered = MemorySystem::new_unfiltered(cfg);
+    let mut broadcast = MemorySystem::new_broadcast(cfg);
+    assert!(filtered.mru_filter_enabled());
+    assert!(!unfiltered.mru_filter_enabled());
+    assert_eq!(
+        filtered.snoop_filter_enabled(),
+        unfiltered.snoop_filter_enabled()
+    );
+    for sys in [&mut filtered, &mut unfiltered, &mut broadcast] {
+        sys.enable_latency_hist(COSTS);
+        sys.enable_line_stats();
+    }
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut touched = std::collections::BTreeSet::new();
+    for step in 0..steps {
+        let (cpu, kind, addr) = next_ref(&mut rng, cpus);
+        touched.insert(addr.0);
+        let a = filtered.access(cpu, kind, addr);
+        let b = unfiltered.access(cpu, kind, addr);
+        let c = broadcast.access(cpu, kind, addr);
+        assert_eq!(
+            a, b,
+            "outcome diverged from unfiltered at step {step} ({cpu} {kind} {addr:?})"
+        );
+        assert_eq!(
+            a, c,
+            "outcome diverged from broadcast at step {step} ({cpu} {kind} {addr:?})"
+        );
+        if step % 4096 == 0 {
+            filtered.audit_directory();
+        }
+    }
+    filtered.audit_directory();
+
+    assert_eq!(filtered.stats(), unfiltered.stats(), "SystemStats diverged");
+    assert_eq!(
+        filtered.bus_stats(),
+        unfiltered.bus_stats(),
+        "BusStats diverged (same directory, so even the snoop fan-out must match)"
+    );
+    assert_eq!(filtered.stats(), broadcast.stats());
+    assert_eq!(
+        filtered.latency_hist().unwrap(),
+        unfiltered.latency_hist().unwrap(),
+        "latency histograms diverged"
+    );
+    assert_eq!(
+        filtered.line_stats().unwrap().touched_lines(),
+        unfiltered.line_stats().unwrap().touched_lines()
+    );
+    assert_eq!(
+        filtered.line_stats().unwrap().total_c2c(),
+        unfiltered.line_stats().unwrap().total_c2c()
+    );
+
+    for &raw in &touched {
+        let addr = Addr(raw);
+        assert_eq!(
+            filtered.l2_states(addr),
+            unfiltered.l2_states(addr),
+            "final L2 states diverged for {addr:?}"
+        );
+        for cpu in 0..cpus {
+            assert_eq!(
+                filtered.l1_holds(cpu, addr),
+                unfiltered.l1_holds(cpu, addr),
+                "final L1 residency diverged for cpu {cpu}, {addr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn filtered_matches_unfiltered_1_cpu() {
+    drive_shape(1, 1, 40_000, 0xF1);
+}
+
+#[test]
+fn filtered_matches_unfiltered_4_cpus() {
+    drive_shape(4, 1, 40_000, 0xF4);
+}
+
+#[test]
+fn filtered_matches_unfiltered_16_cpus() {
+    drive_shape(16, 1, 50_000, 0xF16);
+}
+
+#[test]
+fn filtered_matches_unfiltered_16_cpus_shared_l2() {
+    drive_shape(16, 4, 50_000, 0xF164);
+}
+
+#[test]
+fn filtered_matches_unfiltered_one_shared_l2() {
+    // Single L2 group: no directory, snoop loops empty, but the filter
+    // and its epochs are fully live across the 4 sharing CPUs.
+    drive_shape(4, 4, 40_000, 0xF44);
+}
+
+/// The filter actually fires on the default geometry — otherwise the
+/// oracle above proves nothing about the fast path.
+#[test]
+fn default_shape_uses_the_filter() {
+    let mut sys = MemorySystem::e6000(2).unwrap();
+    assert!(sys.mru_filter_enabled());
+    sys.access(0, AccessKind::Load, Addr(0x40));
+    let o = sys.access(0, AccessKind::Load, Addr(0x40));
+    assert_eq!(o.level, HitLevel::L1);
+    // Mismatched block sizes disable it (entries would need sub-entry
+    // invalidation granularity), without changing behavior.
+    let mut b = HierarchyConfig::builder(1);
+    b.l1i(CacheConfig::new(1 << 10, 2, 32).unwrap());
+    b.l1d(CacheConfig::new(1 << 10, 2, 32).unwrap());
+    let sys = MemorySystem::new(b.build().unwrap());
+    assert!(!sys.mru_filter_enabled());
+}
+
+/// DRAM backend: the filter must not perturb clock-dependent memory
+/// timing, and the batched path must stamp `set_now` exactly like the
+/// scalar loop.
+#[test]
+fn dram_backend_scalar_and_batched_agree_with_unfiltered() {
+    let mut b = HierarchyConfig::builder(4);
+    b.l1i(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l1d(CacheConfig::new(1 << 10, 2, 64).unwrap());
+    b.l2(CacheConfig::new(8 << 10, 4, 64).unwrap());
+    b.memory(MemoryConfig::BankedDram(DramConfig::default()));
+    let cfg = b.build().unwrap();
+
+    // Generate one stream with per-reference timestamps.
+    let mut rng = SimRng::seed_from_u64(0xD3A);
+    let mut refs = Vec::new();
+    let mut now = 0u64;
+    let mut stamps = Vec::new();
+    for _ in 0..30_000 {
+        let (cpu, kind, addr) = next_ref(&mut rng, 4);
+        refs.push(BatchRef {
+            cpu: cpu as u32,
+            kind,
+            addr,
+        });
+        stamps.push(now);
+        now += (rng.next_u64() % 40) + 1;
+    }
+
+    let run_scalar = |sys: &mut MemorySystem| -> Vec<AccessOutcome> {
+        let mut out = Vec::with_capacity(refs.len());
+        for (r, &t) in refs.iter().zip(&stamps) {
+            sys.set_now(t);
+            out.push(sys.access(r.cpu as usize, r.kind, r.addr));
+        }
+        out
+    };
+
+    let mut filtered = MemorySystem::new(cfg);
+    let mut unfiltered = MemorySystem::new_unfiltered(cfg);
+    filtered.enable_latency_hist(COSTS);
+    unfiltered.enable_latency_hist(COSTS);
+    assert!(filtered.needs_clock());
+    let a = run_scalar(&mut filtered);
+    let b = run_scalar(&mut unfiltered);
+    assert_eq!(a, b, "DRAM-backed outcomes diverged");
+    assert_eq!(filtered.stats(), unfiltered.stats());
+    assert_eq!(
+        filtered.latency_hist().unwrap(),
+        unfiltered.latency_hist().unwrap()
+    );
+    assert_eq!(
+        filtered.dram_stats().unwrap(),
+        unfiltered.dram_stats().unwrap(),
+        "row-hit/conflict pattern diverged"
+    );
+
+    // Batched replay of the same stream: each(i) stamps the clock for
+    // reference i+1; reference 0's clock is set by the caller.
+    let mut batched = MemorySystem::new(cfg);
+    batched.enable_latency_hist(COSTS);
+    let mut out = Vec::with_capacity(refs.len());
+    batched.set_now(stamps[0]);
+    batched.access_batch(&refs, |i, o| {
+        out.push(*o);
+        stamps.get(i + 1).copied()
+    });
+    assert_eq!(out, a, "batched outcomes diverged from scalar");
+    assert_eq!(batched.stats(), filtered.stats());
+    assert_eq!(
+        batched.dram_stats().unwrap(),
+        filtered.dram_stats().unwrap()
+    );
+    assert_eq!(
+        batched.latency_hist().unwrap(),
+        filtered.latency_hist().unwrap()
+    );
+}
+
+/// Captured-trace replay across a window reset: the filtered replay's
+/// statistics — and the bytes of a re-capture — must match the
+/// unfiltered replay's exactly.
+#[test]
+fn trace_replay_and_recapture_bytes_are_identical() {
+    let cfg = tiny(4, 1);
+    let mut rng = SimRng::seed_from_u64(0x7C);
+    let mut trace = SystemTrace::new();
+    for i in 0..20_000u64 {
+        let (cpu, kind, addr) = next_ref(&mut rng, 4);
+        trace.record_ref(
+            cpu,
+            java_middleware_memsim::memsys::AccessSource::Workload,
+            kind,
+            addr,
+        );
+        if i == 9_999 {
+            trace.record_window_reset();
+        }
+    }
+
+    let mut filtered = MemorySystem::new(cfg);
+    let mut unfiltered = MemorySystem::new_unfiltered(cfg);
+    filtered.enable_latency_hist(COSTS);
+    unfiltered.enable_latency_hist(COSTS);
+    trace.replay_into(&mut filtered);
+    trace.replay_into(&mut unfiltered);
+    assert_eq!(filtered.stats(), unfiltered.stats());
+    assert_eq!(filtered.bus_stats(), unfiltered.bus_stats());
+    assert_eq!(
+        filtered.latency_hist().unwrap(),
+        unfiltered.latency_hist().unwrap()
+    );
+
+    // On-disk bytes of the capture survive a write/read/write loop
+    // regardless of which system consumed it (the trace is input, not
+    // output, but the round trip pins the whole byte path).
+    let mut bytes = Vec::new();
+    trace.write_to(&mut bytes).unwrap();
+    let back = SystemTrace::read_from(&bytes[..]).unwrap();
+    let mut bytes2 = Vec::new();
+    back.write_to(&mut bytes2).unwrap();
+    assert_eq!(bytes, bytes2);
+}
+
+/// A remote read downgrades the owner (M→O): the owner's *store* fast
+/// path must die (the next store is a bus Upgrade, exactly as
+/// unfiltered), while its load fast path survives (L1 copies outlive a
+/// remote read).
+#[test]
+fn remote_read_downgrade_kills_the_store_fast_path() {
+    let mut m = MemorySystem::e6000(2).unwrap();
+    m.access(0, AccessKind::Store, Addr(0x1000)); // cpu0: M
+    m.access(0, AccessKind::Store, Addr(0x1000)); // filter fast path (M hit)
+    assert_eq!(m.bus_stats().upgrades, 0);
+    m.access(1, AccessKind::Load, Addr(0x1000)); // remote read: M -> O
+    let o = m.access(0, AccessKind::Store, Addr(0x1000));
+    assert_eq!(
+        o.level,
+        HitLevel::Upgrade,
+        "stale dirty entry must not swallow the upgrade"
+    );
+    assert_eq!(m.bus_stats().upgrades, 1);
+    // cpu1's copy must miss again (invalidated by the upgrade) — the
+    // filter must not have kept a stale load entry for it either.
+    let o = m.access(1, AccessKind::Load, Addr(0x1000));
+    assert!(o.c2c, "invalidated reader re-fetches from the dirty owner");
+}
+
+/// A remote write invalidates the line everywhere: both the load and
+/// store fast paths of every prior holder must die.
+#[test]
+fn remote_write_invalidation_kills_both_fast_paths() {
+    let mut m = MemorySystem::e6000(2).unwrap();
+    m.access(0, AccessKind::Load, Addr(0x2000)); // cpu0 L1 + load entry
+    m.access(0, AccessKind::Load, Addr(0x2000)); // fast path
+    m.access(1, AccessKind::Store, Addr(0x2000)); // GetX invalidates cpu0
+    let o = m.access(0, AccessKind::Load, Addr(0x2000));
+    assert_ne!(o.level, HitLevel::L1, "stale load entry survived a GetX");
+    assert!(o.c2c, "re-fetch must come from the new dirty owner");
+}
+
+/// An L2 eviction purges the inclusive L1s above it — and the filter
+/// entries with them.
+#[test]
+fn l2_eviction_kills_the_fast_path() {
+    let mut b = HierarchyConfig::builder(1);
+    b.l2(CacheConfig::new(512, 2, 64).unwrap());
+    b.l1i(CacheConfig::new(256, 2, 64).unwrap());
+    b.l1d(CacheConfig::new(256, 2, 64).unwrap());
+    let mut m = MemorySystem::new(b.build().unwrap());
+    assert!(m.mru_filter_enabled());
+    m.access(0, AccessKind::Load, Addr(0));
+    m.access(0, AccessKind::Load, Addr(0)); // fast path
+    let sets = 512 / (2 * 64);
+    let stride = (sets * 64) as u64;
+    for i in 1..=2u64 {
+        m.access(0, AccessKind::Load, Addr(i * stride));
+    }
+    // Line 0 was evicted from L2 (and, by inclusion, from the L1): the
+    // next access must walk and miss, not fast-path to an L1 hit.
+    let o = m.access(0, AccessKind::Load, Addr(0));
+    assert_ne!(
+        o.level,
+        HitLevel::L1,
+        "inclusion violated through the filter"
+    );
+}
+
+/// `reset_stats` (the measurement-window boundary) clears the filter:
+/// the first post-reset access walks the full path, so its statistics
+/// land in the new window exactly as on an unfiltered system.
+#[test]
+fn window_reset_clears_the_filter_and_matches_unfiltered() {
+    let cfg = tiny(2, 1);
+    let mut filtered = MemorySystem::new(cfg);
+    let mut unfiltered = MemorySystem::new_unfiltered(cfg);
+    let mut rng = SimRng::seed_from_u64(0x33);
+    for _ in 0..5_000 {
+        let (cpu, kind, addr) = next_ref(&mut rng, 2);
+        filtered.access(cpu, kind, addr);
+        unfiltered.access(cpu, kind, addr);
+    }
+    filtered.reset_stats();
+    unfiltered.reset_stats();
+    for _ in 0..5_000 {
+        let (cpu, kind, addr) = next_ref(&mut rng, 2);
+        let a = filtered.access(cpu, kind, addr);
+        let b = unfiltered.access(cpu, kind, addr);
+        assert_eq!(a, b);
+    }
+    assert_eq!(filtered.stats(), unfiltered.stats());
+    assert_eq!(filtered.bus_stats(), unfiltered.bus_stats());
+}
+
+/// Batch/scalar equivalence on the plain flat backend across shapes —
+/// the contract `access_batch` documents, without the DRAM clock in
+/// play.
+#[test]
+fn batched_equals_scalar_on_flat_shapes() {
+    for (cpus, per, seed) in [(1usize, 1usize, 0xB1u64), (4, 1, 0xB4), (16, 4, 0xB164)] {
+        let cfg = tiny(cpus, per);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let refs: Vec<BatchRef> = (0..25_000)
+            .map(|_| {
+                let (cpu, kind, addr) = next_ref(&mut rng, cpus);
+                BatchRef {
+                    cpu: cpu as u32,
+                    kind,
+                    addr,
+                }
+            })
+            .collect();
+        let mut scalar = MemorySystem::new(cfg);
+        let mut outcomes = Vec::with_capacity(refs.len());
+        for r in &refs {
+            outcomes.push(scalar.access(r.cpu as usize, r.kind, r.addr));
+        }
+        let mut batched = MemorySystem::new(cfg);
+        let mut i = 0;
+        batched.access_batch(&refs, |idx, o| {
+            assert_eq!(idx, i);
+            assert_eq!(*o, outcomes[i], "{cpus}x{per}: outcome {i} diverged");
+            i += 1;
+            None
+        });
+        assert_eq!(i, refs.len());
+        assert_eq!(scalar.stats(), batched.stats());
+        assert_eq!(scalar.bus_stats(), batched.bus_stats());
+    }
+}
