@@ -129,6 +129,7 @@ fn main() {
             counters: None,
         });
         log.record_intervals(f.records(run, 0));
+        log.record_events(f.event_records(run, 0));
         report(name, f.table(), f.shape_violations());
     }
 
@@ -209,16 +210,25 @@ fn main() {
         }
     }
 
-    if log.span_count() > 0 || log.interval_count() > 0 || log.sample_unit_count() > 0 {
+    if log.span_count() > 0
+        || log.interval_count() > 0
+        || log.sample_unit_count() > 0
+        || log.event_count() > 0
+    {
+        let prov = Provenance::capture()
+            .with_workers(plan.threads())
+            .with_effort(effort.name())
+            .with_sim_mode(if sampled { "sampled" } else { "full" });
         let file =
             std::fs::File::create("RUNLOG_figures.jsonl").expect("create RUNLOG_figures.jsonl");
-        log.write_to(file, &Provenance::capture())
+        log.write_to(file, &prov)
             .expect("write RUNLOG_figures.jsonl");
         eprintln!(
-            "wrote RUNLOG_figures.jsonl ({} runs, {} job spans, {} intervals) — render with `simreport RUNLOG_figures.jsonl`",
+            "wrote RUNLOG_figures.jsonl ({} runs, {} job spans, {} intervals, {} events) — render with `simreport RUNLOG_figures.jsonl`",
             log.run_count(),
             log.span_count(),
-            log.interval_count()
+            log.interval_count(),
+            log.event_count()
         );
     }
 }

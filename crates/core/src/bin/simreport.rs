@@ -3,7 +3,7 @@
 //! The simulation counterpart of reading `mpstat`/`cpustat` output: the
 //! plan runner writes a JSONL RunLog (provenance, per-run metadata, one
 //! span per job), and this binary turns it into the two tables the paper
-//! works from, or schema-checks it for CI.
+//! works from, a Chrome-trace timeline, or schema-checks it for CI.
 //!
 //! Usage:
 //!   simreport <runlog.jsonl>           mpstat-style worker tables plus a
@@ -16,17 +16,27 @@
 //!   simreport --simstat-csv <runlog.jsonl>
 //!                                      one CSV row per sampled interval,
 //!                                      counter deltas as columns
-//!   simreport --check <runlog.jsonl>   validate the JSONL schema; exits
-//!                                      nonzero with the offending line
+//!   simreport --trace TRACE.json <runlog.jsonl>
+//!                                      export the run observatory's
+//!                                      Chrome trace-event JSON (load in
+//!                                      Perfetto / chrome://tracing)
+//!   simreport --check <runlog.jsonl>   validate the JSONL schema (and
+//!                                      the trace export round-trip);
+//!                                      exits nonzero with the offending
+//!                                      line
 //!
-//! All rendering logic lives in `probes::report`; this is the argv shim.
+//! All rendering logic lives in `probes::report`/`probes::timeline`;
+//! this is the argv shim.
 
 use std::process::ExitCode;
 
-use probes::report;
+use probes::{report, timeline};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: simreport [--csv | --simstat | --simstat-csv | --check] <runlog.jsonl>");
+    eprintln!(
+        "usage: simreport [--csv | --simstat | --simstat-csv | --trace TRACE.json | --check] \
+         <runlog.jsonl>"
+    );
     ExitCode::from(2)
 }
 
@@ -34,9 +44,10 @@ const MODES: &[&str] = &["--csv", "--simstat", "--simstat-csv", "--check"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (mode, path) = match args.as_slice() {
-        [path] => ("text", path),
-        [flag, path] if MODES.contains(&flag.as_str()) => (flag.as_str(), path),
+    let (mode, trace_path, path) = match args.as_slice() {
+        [path] => ("text", None, path),
+        [flag, path] if MODES.contains(&flag.as_str()) => (flag.as_str(), None, path),
+        [flag, trace, path] if flag == "--trace" => ("--trace", Some(trace), path),
         _ => return usage(),
     };
 
@@ -57,13 +68,44 @@ fn main() -> ExitCode {
 
     match mode {
         "--check" => {
+            // The timeline export is part of the schema contract: a log
+            // that renders to an invalid trace fails --check.
+            let trace = timeline::render_chrome_trace(&log);
+            let summary = match timeline::validate_chrome_trace(&trace) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("simreport: {path}: trace export failed validation: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             println!(
-                "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms, {} sample units)",
+                "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms, {} sample \
+                 units, {} events; trace: {summary})",
                 log.runs.len(),
                 log.jobs.len(),
                 log.intervals.len(),
                 log.hists.len(),
-                log.sample_units.len()
+                log.sample_units.len(),
+                log.events.len()
+            );
+        }
+        "--trace" => {
+            let out = trace_path.expect("--trace carries an output path");
+            let trace = timeline::render_chrome_trace(&log);
+            let summary = match timeline::validate_chrome_trace(&trace) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("simreport: {path}: trace export failed validation: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(out, &trace) {
+                eprintln!("simreport: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {out} ({summary}) — load in Perfetto (ui.perfetto.dev) or \
+                 chrome://tracing"
             );
         }
         "--csv" => print!("{}", report::render_csv(&log)),

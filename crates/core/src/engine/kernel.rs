@@ -254,6 +254,13 @@ impl<W: Workload> Machine<W> {
         &self.mem
     }
 
+    /// Drains the memory backend's buffered DRAM queue-stall episodes
+    /// `(start, end)` for the run-observatory timeline. Empty unless
+    /// the banked-DRAM backend is configured and stalled.
+    pub fn take_dram_stall_episodes(&mut self) -> Vec<(u64, u64)> {
+        self.mem.take_dram_stall_episodes()
+    }
+
     /// The clock/mode accounting (for inspection).
     pub fn accounting(&self) -> &Accounting {
         &self.acct
@@ -643,7 +650,7 @@ impl<W: Workload> Machine<W> {
         let now = self.time();
         self.acct.begin_window(now);
         self.gc.begin_window();
-        self.observers.window_reset();
+        self.observers.window_reset(now);
         // Re-baseline any interval samplers on the freshly reset
         // counters so the first interval starts at the window edge.
         if self.observers.min_interval().is_some() {

@@ -39,7 +39,7 @@ pub use gc_driver::GcDriver;
 pub use kernel::{Machine, MachineConfig};
 pub use observer::{
     AccessEvent, AccessSource, IntervalSample, IntervalSampler, LineStatsObserver, ObserverHandle,
-    ObserverSet, SimObserver, SweepObserver,
+    ObserverSet, SimObserver, SweepObserver, TimelineCollector,
 };
 pub use sampling::{
     measure_sampled, SampledRun, SamplingConfig, SimMode, UnitMeasurement, UnitRecord,

@@ -18,7 +18,7 @@ use std::any::Any;
 use std::marker::PhantomData;
 
 use memsys::{AccessKind, AccessOutcome, Addr, CacheSweep, LineStats};
-use probes::runlog::IntervalRecord;
+use probes::runlog::{EventRecord, IntervalRecord};
 use probes::Snapshot;
 
 // The source tag lives with the trace machinery in `memsys` (captured
@@ -64,8 +64,9 @@ pub trait SimObserver: Any {
     /// Called when a transaction completes on `cpu` at time `now`.
     fn on_tx_done(&mut self, _cpu: usize, _now: u64) {}
 
-    /// Called by `begin_measurement`: discard warm-up observations.
-    fn on_window_reset(&mut self) {}
+    /// Called by `begin_measurement` with the current virtual time:
+    /// discard warm-up observations.
+    fn on_window_reset(&mut self, _now: u64) {}
 
     /// The simulated-cycle interval at which this observer wants
     /// whole-machine counter snapshots delivered via
@@ -175,9 +176,9 @@ impl ObserverSet {
         }
     }
 
-    pub(crate) fn window_reset(&mut self) {
+    pub(crate) fn window_reset(&mut self, now: u64) {
         for o in &mut self.observers {
-            o.on_window_reset();
+            o.on_window_reset(now);
         }
     }
 
@@ -330,7 +331,7 @@ impl SimObserver for IntervalSampler {
         self.gc_intervals.push((start, end));
     }
 
-    fn on_window_reset(&mut self) {
+    fn on_window_reset(&mut self, _now: u64) {
         self.samples.clear();
         self.gc_intervals.clear();
         self.last = None;
@@ -381,7 +382,7 @@ impl SimObserver for SweepObserver {
         }
     }
 
-    fn on_window_reset(&mut self) {
+    fn on_window_reset(&mut self, _now: u64) {
         self.isweep.reset_stats();
         self.dsweep.reset_stats();
     }
@@ -415,8 +416,75 @@ impl SimObserver for LineStatsObserver {
         }
     }
 
-    fn on_window_reset(&mut self) {
+    fn on_window_reset(&mut self, _now: u64) {
         self.stats.reset();
+    }
+}
+
+/// Collects the run observatory's sim-time events — GC pauses as
+/// `gc.pause` spans and measurement-window resets as `window.reset`
+/// instants — for the Chrome-trace timeline. The collector stands on
+/// the same seams the interval sampler does, so attaching it changes
+/// nothing on the access path, and [`TimelineCollector::to_records`]
+/// is called on the worker thread after the job body finishes, off the
+/// input-order merge (the bit-identity discipline of the RunLog).
+///
+/// Unlike the statistics observers, a window reset does *not* discard
+/// what came before it: the reset itself is an event worth seeing on
+/// the timeline (warm-up GC behavior is part of the story the paper's
+/// Figure 10 tells), so the collector keeps the full history and marks
+/// the reset with an instant.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineCollector {
+    gc_pauses: Vec<(u64, u64)>,
+    window_resets: Vec<u64>,
+}
+
+impl TimelineCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TimelineCollector::default()
+    }
+
+    /// The collected GC pauses, `[start, end)` in cycles.
+    pub fn gc_pauses(&self) -> &[(u64, u64)] {
+        &self.gc_pauses
+    }
+
+    /// The collected window-reset instants, in cycles.
+    pub fn window_resets(&self) -> &[u64] {
+        &self.window_resets
+    }
+
+    /// Converts the collected events into RunLog `event` records for
+    /// job `(run, id)`.
+    pub fn to_records(&self, run: usize, id: usize) -> Vec<EventRecord> {
+        let mut out = Vec::with_capacity(self.gc_pauses.len() + self.window_resets.len());
+        out.extend(self.gc_pauses.iter().map(|&(start, end)| EventRecord {
+            run,
+            id,
+            name: "gc.pause".into(),
+            start,
+            end,
+        }));
+        out.extend(self.window_resets.iter().map(|&t| EventRecord {
+            run,
+            id,
+            name: "window.reset".into(),
+            start: t,
+            end: t,
+        }));
+        out
+    }
+}
+
+impl SimObserver for TimelineCollector {
+    fn on_gc_interval(&mut self, start: u64, end: u64) {
+        self.gc_pauses.push((start, end));
+    }
+
+    fn on_window_reset(&mut self, now: u64) {
+        self.window_resets.push(now);
     }
 }
 
@@ -479,7 +547,7 @@ mod tests {
         assert!(recs[1].gc);
 
         // A window reset discards everything, including the baseline.
-        s.on_window_reset();
+        s.on_window_reset(300);
         assert!(s.samples().is_empty());
         s.on_counter_sample(400, &Snapshot::of(&Cb(50)));
         assert!(
@@ -527,8 +595,31 @@ mod tests {
             set.get(h).samples()[0].counters.get("bus.snoop_cb"),
             Some(4)
         );
-        set.window_reset();
+        set.window_reset(10);
         assert!(set.get(h).samples().is_empty());
+    }
+
+    #[test]
+    fn timeline_collector_keeps_history_across_resets() {
+        let mut tc = TimelineCollector::new();
+        tc.on_gc_interval(100, 400);
+        tc.on_window_reset(500);
+        tc.on_gc_interval(900, 1200);
+        assert_eq!(tc.gc_pauses(), &[(100, 400), (900, 1200)]);
+        assert_eq!(tc.window_resets(), &[500]);
+
+        let recs = tc.to_records(2, 3);
+        assert_eq!(recs.len(), 3);
+        assert!(recs
+            .iter()
+            .all(|r| (r.run, r.id) == (2, 3) && r.end >= r.start));
+        let reset = recs.iter().find(|r| r.name == "window.reset").unwrap();
+        assert_eq!((reset.start, reset.end), (500, 500), "instant event");
+        assert_eq!(
+            recs.iter().filter(|r| r.name == "gc.pause").count(),
+            2,
+            "warm-up GC survives the reset"
+        );
     }
 
     #[test]

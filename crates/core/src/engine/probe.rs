@@ -55,6 +55,18 @@ impl CounterSet for Accounting {
     }
 }
 
+/// Every descriptor table the full machine samples through — memory
+/// system, processor model, and the engine's own accounting — for
+/// assembling the `simdiff` drift policy. Drift classes (Exact vs
+/// Tolerance bands) ride on the descriptors, so the gate and the
+/// sampler can never disagree about a counter's contract.
+pub fn descriptor_tables() -> Vec<&'static [CounterDesc]> {
+    let mut tables = memsys::probe::descriptor_tables();
+    tables.extend(simcpu::probe::descriptor_tables());
+    tables.push(&ACCOUNTING_DESCS);
+    tables
+}
+
 impl<W: Workload> Machine<W> {
     /// A `cpustat`-style sample of the paper's four UltraSPARC II
     /// events, derived from the pipeline and bus counters.

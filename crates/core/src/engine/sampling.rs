@@ -40,7 +40,7 @@
 
 use memsys::{AccessKind, Addr, BatchRef, MemSink, MemorySystem};
 use probes::registry::Snapshot;
-use probes::runlog::SampleUnitRecord;
+use probes::runlog::{EventRecord, SampleUnitRecord};
 use probes::Histogram;
 use simcpu::{CpiReport, LatencyTable};
 use simstats::extrapolate::{stratified, Estimate, Stratum};
@@ -567,6 +567,9 @@ pub struct UnitRecord {
     pub cluster: usize,
     /// Whether the unit was simulated in detail.
     pub detailed: bool,
+    /// Whether the unit sat in the post-GC recovery transient (always
+    /// detailed, pooled in the dedicated recovery stratum).
+    pub recovery: bool,
     /// Cycle the unit started at.
     pub start: u64,
     /// Cycle the unit actually ended at (>= nominal end when a GC
@@ -871,6 +874,31 @@ impl SampledRun {
         }
     }
 
+    /// The unit schedule as run-observatory timeline events for job
+    /// `(run, id)`: one span per unit, named by stratum —
+    /// `unit.recovery` (post-GC transient, detailed), `unit.detailed`
+    /// (measured steady state) or `unit.fast` (functional
+    /// fast-forward) — so the Chrome-trace view shows exactly which
+    /// cycles the extrapolation rests on.
+    pub fn event_records(&self, run: usize, id: usize) -> Vec<EventRecord> {
+        self.units
+            .iter()
+            .map(|u| EventRecord {
+                run,
+                id,
+                name: if u.recovery {
+                    "unit.recovery".into()
+                } else if u.detailed {
+                    "unit.detailed".into()
+                } else {
+                    "unit.fast".into()
+                },
+                start: u.start,
+                end: u.end,
+            })
+            .collect()
+    }
+
     /// The unit schedule as RunLog records for job `(run, id)`.
     pub fn sample_units(&self, run: usize, id: usize) -> Vec<SampleUnitRecord> {
         let total: u64 = self.clusters.iter().map(|c| c.pop).sum();
@@ -1064,6 +1092,7 @@ pub fn measure_sampled<W: Workload>(
             unit: u,
             cluster,
             detailed,
+            recovery: recovering,
             start: unit_start,
             end: unit_actual_end,
         });

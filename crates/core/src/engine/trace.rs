@@ -79,7 +79,7 @@ impl SimObserver for TraceObserver {
         }
     }
 
-    fn on_window_reset(&mut self) {
+    fn on_window_reset(&mut self, _now: u64) {
         self.trace.record_window_reset();
     }
 }
@@ -161,7 +161,7 @@ mod tests {
         let mut obs = TraceObserver::new();
         obs.on_instructions(0, 12, AccessSource::Workload);
         obs.on_access(&event(0, AccessSource::Workload, &hit));
-        obs.on_window_reset();
+        obs.on_window_reset(0);
         obs.on_access(&event(1, AccessSource::KernelTick, &hit));
         let t = obs.into_trace();
         assert_eq!(t.refs(), 2);

@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use memsys::{Addr, AddrRange};
 use probes::registry::Snapshot;
-use probes::runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta, SampleUnitRecord};
+use probes::runlog::{
+    EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta, SampleUnitRecord,
+};
 use probes::Histogram;
 use simstats::Summary;
 use workloads::ecperf::{Ecperf, EcperfConfig};
@@ -128,6 +130,10 @@ pub struct JobTelemetry {
     /// job fills `unit`/`cluster`/`weight_ppm`; the runner stamps
     /// `run`/`id` when the records land in the log.
     pub samples: Vec<SampleUnitRecord>,
+    /// Sim-time timeline events (GC pauses, window resets, sample-unit
+    /// strata, DRAM stall episodes). As with `samples`, the job fills
+    /// name and `[start, end]`; the runner stamps `run`/`id`.
+    pub events: Vec<EventRecord>,
 }
 
 impl JobTelemetry {
@@ -145,7 +151,15 @@ impl JobTelemetry {
     pub fn with_samples(mut self, sampled: Option<&SampledRun>) -> Self {
         if let Some(s) = sampled {
             self.samples = s.sample_units(0, 0);
+            self.events.extend(s.event_records(0, 0));
         }
+        self
+    }
+
+    /// Appends timeline events (placeholder `run`/`id`, stamped at
+    /// emission like `samples`).
+    pub fn with_events(mut self, events: impl IntoIterator<Item = EventRecord>) -> Self {
+        self.events.extend(events);
         self
     }
 }
@@ -441,6 +455,13 @@ impl ExperimentPlan {
             binding
                 .log
                 .record_sample_units(tele.samples.into_iter().map(|mut r| {
+                    r.run = run;
+                    r.id = id;
+                    r
+                }));
+            binding
+                .log
+                .record_events(tele.events.into_iter().map(|mut r| {
                     r.run = run;
                     r.id = id;
                     r
@@ -767,6 +788,7 @@ mod tests {
             timestamp: 0,
             workers: None,
             effort: None,
+            sim_mode: None,
         });
         let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
         assert_eq!(parsed.jobs.len(), 2 * inputs.len());
@@ -822,6 +844,13 @@ mod tests {
                     detailed: true,
                     weight_ppm: 1_000_000,
                 }],
+                events: vec![probes::runlog::EventRecord {
+                    run: 0,
+                    id: 0,
+                    name: "gc.pause".to_string(),
+                    start: 100,
+                    end: 160,
+                }],
             };
             (x * 7, tele)
         };
@@ -848,10 +877,17 @@ mod tests {
                 timestamp: 0,
                 workers: None,
                 effort: None,
+                sim_mode: None,
             });
             let parsed = probes::report::check(&jsonl).expect("telemetry JSONL passes --check");
             assert_eq!(parsed.intervals.len(), 2 * inputs.len());
             assert_eq!(parsed.hists.len(), inputs.len());
+            // Event records were stamped with the real run/id.
+            assert_eq!(parsed.events.len(), inputs.len());
+            assert!(parsed
+                .events
+                .iter()
+                .all(|e| e.name == "gc.pause" && e.id < inputs.len() as u64));
         }
     }
 

@@ -14,12 +14,13 @@
 //! stretch an interval past its nominal width.
 
 use memsys::{Addr, AddrRange, DramConfig, MemoryConfig};
-use probes::runlog::IntervalRecord;
+use probes::runlog::{EventRecord, IntervalRecord};
 use simstats::Table;
 use workloads::specjbb::{SpecJbb, SpecJbbConfig};
 
 use crate::engine::{
     measure_sampled, IntervalSample, IntervalSampler, Machine, MachineConfig, SamplingConfig,
+    TimelineCollector,
 };
 use crate::experiment::WORKLOAD_BASE;
 use crate::Effort;
@@ -56,6 +57,10 @@ pub struct Fig10 {
     /// The warming subsample factor (1 for full runs): rates outside
     /// `detailed_spans` are multiplied by this to undo the subsample.
     pub warm_factor: u64,
+    /// Run-observatory timeline events (GC pauses, window resets,
+    /// sample-unit strata, DRAM stall episodes) with placeholder
+    /// `run`/`id`, restamped by [`Fig10::event_records`].
+    pub events: Vec<EventRecord>,
 }
 
 /// Runs the experiment: one SPECjbb run, sampled until at least three
@@ -94,6 +99,7 @@ fn run_in(effort: Effort, pset: usize, memory: MemoryConfig, sampled: bool) -> F
     mc.hierarchy.memory = memory;
     let mut m = Machine::new(mc, SpecJbb::new(cfg, region));
     let sampler = m.attach_observer(IntervalSampler::new(BUCKET_CYCLES));
+    let timeline = m.attach_observer(TimelineCollector::new());
     if sampled {
         // The sampled spine owns the schedule, so the trace runs a
         // fixed horizon instead of stopping at the third collection.
@@ -107,12 +113,16 @@ fn run_in(effort: Effort, pset: usize, memory: MemoryConfig, sampled: bool) -> F
             .filter(|u| u.detailed)
             .map(|u| (u.start, u.end))
             .collect();
+        let mut events = m.observer(timeline).to_records(0, 0);
+        events.extend(run.event_records(0, 0));
+        events.extend(dram_stall_events(&mut m));
         return Fig10 {
             intervals: m.observer(sampler).samples().to_vec(),
             interval_cycles: BUCKET_CYCLES,
             gc_count: m.gc_count(),
             detailed_spans,
             warm_factor,
+            events,
         };
     }
     m.run_until(effort.warmup());
@@ -125,13 +135,31 @@ fn run_in(effort: Effort, pset: usize, memory: MemoryConfig, sampled: bool) -> F
         next += effort.window();
         m.run_until(next);
     }
+    let mut events = m.observer(timeline).to_records(0, 0);
+    events.extend(dram_stall_events(&mut m));
     Fig10 {
         intervals: m.observer(sampler).samples().to_vec(),
         interval_cycles: BUCKET_CYCLES,
         gc_count: m.gc_count(),
         detailed_spans: Vec::new(),
         warm_factor: 1,
+        events,
     }
+}
+
+/// Drains the machine's DRAM queue-stall episodes as `dram.stall`
+/// timeline spans (empty with the flat backend).
+fn dram_stall_events(m: &mut Machine<SpecJbb>) -> Vec<EventRecord> {
+    m.take_dram_stall_episodes()
+        .into_iter()
+        .map(|(start, end)| EventRecord {
+            run: 0,
+            id: 0,
+            name: "dram.stall".into(),
+            start,
+            end,
+        })
+        .collect()
 }
 
 impl Fig10 {
@@ -219,6 +247,19 @@ impl Fig10 {
             .collect()
     }
 
+    /// The timeline events as RunLog `event` records for job
+    /// `(run, id)`.
+    pub fn event_records(&self, run: usize, id: usize) -> Vec<EventRecord> {
+        self.events
+            .iter()
+            .map(|e| EventRecord {
+                run,
+                id,
+                ..e.clone()
+            })
+            .collect()
+    }
+
     /// Checks the paper's qualitative claim: the transfer rate drops
     /// dramatically during collection.
     pub fn shape_violations(&self) -> Vec<String> {
@@ -262,5 +303,17 @@ mod tests {
         let recs = f.records(0, 0);
         assert_eq!(recs.len(), f.intervals.len());
         assert!(recs.iter().enumerate().all(|(i, r)| r.seq == i));
+        // The timeline saw the same collections the intervals flag.
+        let evs = f.event_records(1, 2);
+        assert!(evs.iter().all(|e| (e.run, e.id) == (1, 2)));
+        assert_eq!(
+            evs.iter().filter(|e| e.name == "gc.pause").count() as u64,
+            f.gc_count
+        );
+        assert_eq!(
+            evs.iter().filter(|e| e.name == "window.reset").count(),
+            1,
+            "one measurement window"
+        );
     }
 }

@@ -33,6 +33,13 @@ use super::MemoryBackend;
 /// Row tag meaning "no row open" (after power-up; never a real row).
 const CLOSED: u64 = u64::MAX;
 
+/// Cap on buffered stall episodes between drains. Stalls are rare by
+/// construction (the queue must be full), but a pathological stream
+/// must not turn the timeline buffer into a memory leak; beyond the
+/// cap the *counters* keep counting and only the episode log saturates
+/// — deterministically, since admission order is deterministic.
+const MAX_STALL_EPISODES: usize = 1 << 16;
+
 /// Event counters of one [`BankedDram`] — the `dram.*` panel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
@@ -110,6 +117,9 @@ pub struct BankedDram {
     channels: Vec<Channel>,
     stats: DramStats,
     hist: Histogram,
+    /// Queue-stall episodes `(start, end)` in sim cycles, buffered for
+    /// the run-observatory timeline and drained per job.
+    stall_episodes: Vec<(u64, u64)>,
 }
 
 impl BankedDram {
@@ -137,6 +147,7 @@ impl BankedDram {
             channels,
             stats: DramStats::default(),
             hist: Histogram::new(),
+            stall_episodes: Vec::new(),
             cfg,
         }
     }
@@ -193,6 +204,9 @@ impl BankedDram {
             let slot_free = ch.queue.pop_front().expect("nonempty full queue");
             self.stats.queue_stalls += 1;
             self.stats.stalled_cycles += slot_free - t;
+            if self.stall_episodes.len() < MAX_STALL_EPISODES {
+                self.stall_episodes.push((t, slot_free));
+            }
             slot_free
         } else {
             t
@@ -253,6 +267,11 @@ impl MemoryBackend for BankedDram {
     fn reset_stats(&mut self) {
         self.stats = DramStats::default();
         self.hist = Histogram::new();
+        self.stall_episodes.clear();
+    }
+
+    fn take_stall_episodes(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.stall_episodes)
     }
 }
 
@@ -328,6 +347,25 @@ mod tests {
         assert!(s.queue_stalls > 0, "a 2-deep queue must refuse a burst");
         assert!(s.stalled_cycles > 0);
         assert!(s.mean_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn stall_episodes_record_the_backpressure_intervals() {
+        let mut d = BankedDram::new(DramConfig {
+            queue_depth: 2,
+            ..DramConfig::default()
+        });
+        for i in 0..8 {
+            d.fetch(line(i * 64), 0);
+        }
+        let stalls = d.stats().queue_stalls;
+        let episodes = d.take_stall_episodes();
+        assert_eq!(episodes.len() as u64, stalls);
+        // Each episode spans the counted wait and drains exactly once.
+        let total: u64 = episodes.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, d.stats().stalled_cycles);
+        assert!(episodes.iter().all(|(s, e)| e > s));
+        assert!(d.take_stall_episodes().is_empty());
     }
 
     #[test]

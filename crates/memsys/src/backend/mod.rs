@@ -73,6 +73,13 @@ pub trait MemoryBackend {
     /// backlog) — the measurement-window contract of
     /// [`MemorySystem::reset_stats`](crate::MemorySystem::reset_stats).
     fn reset_stats(&mut self) {}
+
+    /// Drains the buffered queue-stall episodes `(start, end)` in sim
+    /// cycles, for the run-observatory timeline. Backends without a
+    /// queue have none.
+    fn take_stall_episodes(&mut self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
 }
 
 /// The backend a [`MemorySystem`](crate::MemorySystem) actually holds:
@@ -140,6 +147,13 @@ impl MemoryBackend for Backend {
         match self {
             Backend::Flat(b) => b.reset_stats(),
             Backend::Dram(b) => b.reset_stats(),
+        }
+    }
+
+    fn take_stall_episodes(&mut self) -> Vec<(u64, u64)> {
+        match self {
+            Backend::Flat(b) => b.take_stall_episodes(),
+            Backend::Dram(b) => b.take_stall_episodes(),
         }
     }
 }

@@ -12,7 +12,7 @@
 //! - `lines.*` — [`LineStats`] window summaries;
 //! - `dram.*` — [`DramStats`], present only with the banked-DRAM backend.
 
-use probes::registry::{ratio_ppm, CounterDesc, CounterKind, CounterSet, Snapshot};
+use probes::registry::{ratio_ppm, CounterDesc, CounterKind, CounterSet, DriftClass, Snapshot};
 
 use crate::backend::DramStats;
 use crate::bus::BusStats;
@@ -104,7 +104,10 @@ static BUS_STATS_DESCS: [CounterDesc; 8] = [
     count("bus.writebacks"),
     count("bus.snoops_sent"),
     count("bus.snoops_filtered"),
-    CounterDesc::new("bus.snoop_filter_ppm", CounterKind::Ratio),
+    // Derived ratio: rounding of the ppm fixed-point may wobble when
+    // the underlying counts legitimately move, so give it a 1% band.
+    CounterDesc::new("bus.snoop_filter_ppm", CounterKind::Ratio)
+        .with_drift(DriftClass::Tolerance(10_000)),
 ];
 
 impl CounterSet for BusStats {
@@ -158,16 +161,26 @@ impl CounterSet for LineStats {
     }
 }
 
+// Event counts (reads, writebacks, row hits/conflicts) are functions
+// of the deterministic access stream: Exact. Queue pressure is timing
+// model territory — stall episodes and occupancy integrals shift when
+// the timing parameters are deliberately retuned — so those carry a
+// 5% drift band for the `simdiff` gate.
 static DRAM_STATS_DESCS: [CounterDesc; 9] = [
     count("dram.reads"),
     count("dram.writebacks"),
     count("dram.row_hits"),
     count("dram.row_conflicts"),
-    count("dram.queue_stalls"),
-    count("dram.stalled_cycles"),
-    count("dram.queue_occupancy"),
-    CounterDesc::new("dram.row_hit_ppm", CounterKind::Ratio),
-    CounterDesc::new("dram.mean_occupancy_ppm", CounterKind::Ratio),
+    CounterDesc::new("dram.queue_stalls", CounterKind::Count)
+        .with_drift(DriftClass::Tolerance(50_000)),
+    CounterDesc::new("dram.stalled_cycles", CounterKind::Count)
+        .with_drift(DriftClass::Tolerance(50_000)),
+    CounterDesc::new("dram.queue_occupancy", CounterKind::Count)
+        .with_drift(DriftClass::Tolerance(50_000)),
+    CounterDesc::new("dram.row_hit_ppm", CounterKind::Ratio)
+        .with_drift(DriftClass::Tolerance(50_000)),
+    CounterDesc::new("dram.mean_occupancy_ppm", CounterKind::Ratio)
+        .with_drift(DriftClass::Tolerance(50_000)),
 ];
 
 impl CounterSet for DramStats {
@@ -197,6 +210,19 @@ impl CounterSet for DramStats {
             ratio_ppm(self.mean_occupancy()),
         ]);
     }
+}
+
+/// Every descriptor table this crate declares, for assembling a
+/// `simdiff` drift policy: drift classes live on the descriptors, so
+/// the gate reads tolerance bands from the same tables the counters
+/// are sampled through.
+pub fn descriptor_tables() -> Vec<&'static [CounterDesc]> {
+    vec![
+        &SYSTEM_STATS_DESCS,
+        &BUS_STATS_DESCS,
+        &LINE_STATS_DESCS,
+        &DRAM_STATS_DESCS,
+    ]
 }
 
 impl MemorySystem {

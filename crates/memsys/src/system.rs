@@ -270,6 +270,13 @@ impl MemorySystem {
         self.backend.queue_hist()
     }
 
+    /// Drains the memory backend's buffered queue-stall episodes
+    /// `(start, end)` for the run-observatory timeline. Empty for
+    /// backends without a request queue.
+    pub fn take_dram_stall_episodes(&mut self) -> Vec<(u64, u64)> {
+        self.backend.take_stall_episodes()
+    }
+
     /// Resets all statistics (caches keep their contents — use this to end
     /// a warm-up phase and start a measurement window).
     pub fn reset_stats(&mut self) {

@@ -27,20 +27,32 @@
 //!   and machine CSV, plus `simstat` interval tables/sparklines and the
 //!   JSONL schema check behind `simreport --check`.
 //! - [`provenance`] — host/commit/config metadata (`git_rev`,
-//!   `hostname`, `cpu_count`, `timestamp`) stamped into every RunLog
-//!   and `BENCH_*.json` so archived results say where they came from.
+//!   `hostname`, `cpu_count`, `timestamp`, worker count, effort,
+//!   simulation mode) stamped into every RunLog and `BENCH_*.json` so
+//!   archived results say where they came from.
+//! - [`timeline`] — the run observatory's export path: sim-time
+//!   [`runlog::EventRecord`]s (GC pauses, window resets, sample-unit
+//!   strata, DRAM stall episodes) rendered as Chrome trace-event JSON
+//!   for Perfetto / `chrome://tracing`, with the in-tree validator
+//!   behind `simreport --check`.
+//! - [`drift`] — the `simdiff` metric drift gate: RunLog counters
+//!   aggregated into a provenance-stamped [`drift::Baseline`] and
+//!   compared counter-by-counter under per-counter
+//!   [`registry::DriftClass`] bands.
 //! - [`json`] — the tiny JSON reader/writer the above share (the
 //!   workspace is dependency-free by design; no serde).
 
+pub mod drift;
 pub mod hist;
 pub mod json;
 pub mod provenance;
 pub mod registry;
 pub mod report;
 pub mod runlog;
+pub mod timeline;
 
 pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use provenance::Provenance;
-pub use registry::{CounterDesc, CounterKind, CounterSet, Snapshot};
-pub use runlog::{HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};
+pub use registry::{CounterDesc, CounterKind, CounterSet, DriftClass, Snapshot};
+pub use runlog::{EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};

@@ -26,6 +26,11 @@ pub struct Provenance {
     /// Effort level the run was sized at (e.g. `"quick"`), when the
     /// producer has one.
     pub effort: Option<String>,
+    /// Simulation mode the run executed under (`"full"` or
+    /// `"sampled"`), when the producer has one. Sampled-mode counters
+    /// are extrapolated estimates, so comparing them against full-mode
+    /// numbers is a category error — `simdiff` refuses the comparison.
+    pub sim_mode: Option<String>,
 }
 
 impl Provenance {
@@ -45,6 +50,7 @@ impl Provenance {
                 .unwrap_or(0),
             workers: None,
             effort: None,
+            sim_mode: None,
         }
     }
 
@@ -60,6 +66,12 @@ impl Provenance {
         self
     }
 
+    /// Records the simulation mode the run executed under.
+    pub fn with_sim_mode(mut self, sim_mode: impl Into<String>) -> Self {
+        self.sim_mode = Some(sim_mode.into());
+        self
+    }
+
     /// The optional fields as a `,"k":v` JSON suffix (empty when unset).
     fn json_suffix(&self) -> String {
         let mut s = String::new();
@@ -68,6 +80,9 @@ impl Provenance {
         }
         if let Some(e) = &self.effort {
             s.push_str(&format!(",\"effort\":{}", crate::json::quote(e)));
+        }
+        if let Some(m) = &self.sim_mode {
+            s.push_str(&format!(",\"sim_mode\":{}", crate::json::quote(m)));
         }
         s
     }
@@ -161,15 +176,20 @@ mod tests {
         // Optional fields are absent until set.
         assert!(line.get("workers").is_none());
         assert!(line.get("effort").is_none());
+        assert!(line.get("sim_mode").is_none());
     }
 
     #[test]
     fn workers_and_effort_serialize_when_set() {
-        let p = Provenance::capture().with_workers(3).with_effort("quick");
+        let p = Provenance::capture()
+            .with_workers(3)
+            .with_effort("quick")
+            .with_sim_mode("full");
         for doc in [p.to_json(), p.to_json_line()] {
             let obj = parse(&doc).unwrap();
             assert_eq!(obj.get("workers").and_then(Json::as_u64), Some(3));
             assert_eq!(obj.get("effort").and_then(Json::as_str), Some("quick"));
+            assert_eq!(obj.get("sim_mode").and_then(Json::as_str), Some("full"));
         }
     }
 }

@@ -45,6 +45,25 @@ impl CounterKind {
     }
 }
 
+/// How much run-to-run movement a counter is allowed before a
+/// `simdiff` comparison flags it as drift.
+///
+/// The class is declared on the descriptor, next to the kind, because
+/// the code that maintains a counter is the only place that knows
+/// whether it is a pure function of the seeded simulation (`Exact`) or
+/// carries statistical/timing noise (`Tolerance`): extrapolated
+/// sampled-mode estimates, queueing-model occupancies, ppm ratios of
+/// small denominators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriftClass {
+    /// Deterministic: any difference between two same-seed runs is a
+    /// regression. The default.
+    Exact,
+    /// Sampled or timing-sensitive: relative drift up to this many
+    /// parts-per-million is in-band.
+    Tolerance(u64),
+}
+
 /// One registered counter: a dot-separated name and its kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterDesc {
@@ -52,12 +71,28 @@ pub struct CounterDesc {
     pub name: &'static str,
     /// What the value means.
     pub kind: CounterKind,
+    /// How much run-to-run drift is in-band for `simdiff`.
+    pub drift: DriftClass,
 }
 
 impl CounterDesc {
-    /// Shorthand constructor for descriptor tables.
+    /// Shorthand constructor for descriptor tables. Counters default to
+    /// [`DriftClass::Exact`]; mark noisy ones with [`with_drift`].
+    ///
+    /// [`with_drift`]: CounterDesc::with_drift
     pub const fn new(name: &'static str, kind: CounterKind) -> Self {
-        CounterDesc { name, kind }
+        CounterDesc {
+            name,
+            kind,
+            drift: DriftClass::Exact,
+        }
+    }
+
+    /// Declares the counter's drift class (builder-style, usable in
+    /// `const` descriptor tables).
+    pub const fn with_drift(mut self, drift: DriftClass) -> Self {
+        self.drift = drift;
+        self
     }
 }
 

@@ -34,6 +34,9 @@ pub struct ParsedLog {
     /// Sampled-mode unit schedules, in file order (`(run, id, unit)`-
     /// sorted by the serializer).
     pub sample_units: Vec<SampleUnitEntry>,
+    /// Sim-time events, in file order (`(run, id, start, end, name)`-
+    /// sorted by the serializer).
+    pub events: Vec<EventEntry>,
 }
 
 /// The `provenance` event.
@@ -47,6 +50,12 @@ pub struct ProvEntry {
     pub cpu_count: u64,
     /// UNIX timestamp (seconds) of the capture.
     pub timestamp: u64,
+    /// Worker threads the producer used, when recorded.
+    pub workers: Option<u64>,
+    /// Effort level the run was sized at, when recorded.
+    pub effort: Option<String>,
+    /// Simulation mode (`"full"` / `"sampled"`), when recorded.
+    pub sim_mode: Option<String>,
 }
 
 /// One `run` event.
@@ -140,6 +149,23 @@ pub struct SampleUnitEntry {
     pub weight_ppm: u64,
 }
 
+/// One `event` record: a named sim-time span (or instant, when
+/// `end == start`) on one job's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventEntry {
+    /// Run the event belongs to.
+    pub run: u64,
+    /// Input-order index of the job whose timeline it is.
+    pub id: u64,
+    /// Dot-separated event name, e.g. `gc.pause`.
+    pub name: String,
+    /// Simulated cycle the event begins at.
+    pub start: u64,
+    /// Simulated cycle the event ends at (`end == start` marks an
+    /// instant).
+    pub end: u64,
+}
+
 /// Parses and schema-checks a RunLog JSONL document.
 ///
 /// Errors name the offending line (1-based) and what was wrong — this
@@ -166,6 +192,9 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                     hostname: req_str(&v, "hostname", lineno)?,
                     cpu_count: req_u64(&v, "cpu_count", lineno)?,
                     timestamp: req_u64(&v, "timestamp", lineno)?,
+                    workers: v.get("workers").and_then(Json::as_u64),
+                    effort: v.get("effort").and_then(Json::as_str).map(String::from),
+                    sim_mode: v.get("sim_mode").and_then(Json::as_str).map(String::from),
                 });
             }
             "run" => {
@@ -330,6 +359,40 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                     ));
                 }
                 log.sample_units.push(entry);
+            }
+            "event" => {
+                let entry = EventEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    name: req_str(&v, "name", lineno)?,
+                    start: req_u64(&v, "start", lineno)?,
+                    end: req_u64(&v, "end", lineno)?,
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: event references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                let meta = &log.runs[entry.run as usize];
+                if entry.id >= meta.jobs {
+                    return Err(format!(
+                        "line {lineno}: event job id out of range for a {}-job run",
+                        meta.jobs
+                    ));
+                }
+                // Unlike intervals, zero-width is legal: an instant
+                // event. Only a backwards span is malformed.
+                if entry.end < entry.start {
+                    return Err(format!(
+                        "line {lineno}: event span [{}, {}] is backwards",
+                        entry.start, entry.end
+                    ));
+                }
+                if entry.name.is_empty() {
+                    return Err(format!("line {lineno}: event name is empty"));
+                }
+                log.events.push(entry);
             }
             other => return Err(format!("line {lineno}: unknown event type {other:?}")),
         }
@@ -627,8 +690,10 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Interval-table columns shown first when present; the rest of the
-/// table fills with the largest remaining counters.
-const SIMSTAT_COLS: [&str; 8] = [
+/// table fills with the largest remaining counters. Shared with the
+/// timeline exporter, which emits the same preferred columns as
+/// Chrome-trace counter tracks.
+pub(crate) const SIMSTAT_COLS: [&str; 8] = [
     "cpustat.instr_cnt",
     "cpustat.ec_misses",
     "bus.snoop_cb",
@@ -934,6 +999,7 @@ mod tests {
             timestamp: 1,
             workers: None,
             effort: None,
+            sim_mode: None,
         })
     }
 
@@ -1068,6 +1134,7 @@ mod tests {
             timestamp: 1,
             workers: None,
             effort: None,
+            sim_mode: None,
         })
     }
 
@@ -1164,6 +1231,7 @@ mod tests {
             timestamp: 1,
             workers: None,
             effort: None,
+            sim_mode: None,
         });
         let parsed = check(&jsonl).unwrap();
         assert_eq!(parsed.sample_units.len(), 2);
@@ -1206,6 +1274,85 @@ mod tests {
         // Before its run event.
         let bad = format!(
             "{prov}\n{{\"ev\":\"sample_unit\",\"run\":0,\"id\":0,\"unit\":0,\"cluster\":0,\"start\":0,\"end\":100,\"detailed\":true,\"weight_ppm\":1}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("before its run event"));
+    }
+
+    #[test]
+    fn check_accepts_event_records_and_provenance_extras() {
+        use crate::runlog::EventRecord;
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "timeline".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: None,
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.1,
+            counters: None,
+        });
+        log.record_events([
+            EventRecord {
+                run,
+                id: 0,
+                name: "gc.pause".into(),
+                start: 100,
+                end: 400,
+            },
+            EventRecord {
+                run,
+                id: 0,
+                name: "window.reset".into(),
+                start: 0,
+                end: 0,
+            },
+        ]);
+        let jsonl = log.to_jsonl(&Provenance {
+            git_rev: "abc123".into(),
+            hostname: "h".into(),
+            cpu_count: 2,
+            timestamp: 1,
+            workers: Some(2),
+            effort: Some("quick".into()),
+            sim_mode: Some("full".into()),
+        });
+        let parsed = check(&jsonl).unwrap();
+        assert_eq!(parsed.events.len(), 2);
+        // Serializer sorts by start: the instant comes first.
+        assert_eq!(parsed.events[0].name, "window.reset");
+        assert_eq!(parsed.events[0].start, parsed.events[0].end);
+        assert_eq!(parsed.events[1].name, "gc.pause");
+        let prov = parsed.provenance.unwrap();
+        assert_eq!(prov.workers, Some(2));
+        assert_eq!(prov.effort.as_deref(), Some("quick"));
+        assert_eq!(prov.sim_mode.as_deref(), Some("full"));
+    }
+
+    #[test]
+    fn check_rejects_malformed_event_records() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = "{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}";
+        let event = |body: &str| format!("{prov}\n{run}\n{job}\n{{\"ev\":\"event\",{body}}}");
+        // Backwards span.
+        let bad = event("\"run\":0,\"id\":0,\"name\":\"gc.pause\",\"start\":200,\"end\":100");
+        assert!(check(&bad).unwrap_err().contains("backwards"));
+        // Job id out of range.
+        let bad = event("\"run\":0,\"id\":7,\"name\":\"gc.pause\",\"start\":0,\"end\":100");
+        assert!(check(&bad).unwrap_err().contains("out of range"));
+        // Empty name.
+        let bad = event("\"run\":0,\"id\":0,\"name\":\"\",\"start\":0,\"end\":100");
+        assert!(check(&bad).unwrap_err().contains("name is empty"));
+        // Before its run event.
+        let bad = format!(
+            "{prov}\n{{\"ev\":\"event\",\"run\":0,\"id\":0,\"name\":\"gc.pause\",\"start\":0,\"end\":100}}"
         );
         assert!(check(&bad).unwrap_err().contains("before its run event"));
     }
@@ -1323,6 +1470,7 @@ mod tests {
             timestamp: 0,
             workers: None,
             effort: None,
+            sim_mode: None,
         });
         let parsed = check(&text).unwrap();
         let report = render_text(&parsed);

@@ -118,6 +118,29 @@ pub struct SampleUnitRecord {
     pub weight_ppm: u64,
 }
 
+/// One sim-time event on a job's timeline: a named span (or instant,
+/// when `end == start`) stamped in simulated cycles. GC pauses, window
+/// resets, sampled-mode unit strata and DRAM queue-stall episodes all
+/// land here; `probes::timeline` turns them into Chrome trace tracks.
+///
+/// Like every other record kind, events are collected on worker threads
+/// *after* a job finishes and never touch the runner's merge path, so
+/// recording them preserves worker-count bit-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Which run this event belongs to.
+    pub run: usize,
+    /// Input-order index of the job whose timeline it is.
+    pub id: usize,
+    /// Dot-separated event name, e.g. `gc.pause` / `unit.detailed`.
+    pub name: String,
+    /// Simulated cycle the event begins at.
+    pub start: u64,
+    /// Simulated cycle the event ends at (inclusive of zero width:
+    /// `end == start` marks an instant event).
+    pub end: u64,
+}
+
 /// A thread-safe sink for run metadata and job spans.
 ///
 /// One log may span several plan runs (bench_plan logs its serial and
@@ -135,6 +158,7 @@ struct Inner {
     intervals: Vec<IntervalRecord>,
     hists: Vec<HistRecord>,
     sample_units: Vec<SampleUnitRecord>,
+    events: Vec<EventRecord>,
 }
 
 impl RunLog {
@@ -185,6 +209,17 @@ impl RunLog {
             .extend(units);
     }
 
+    /// Records a job's sim-time events (GC pauses, window resets, unit
+    /// strata, DRAM stalls). Worker-thread path, same locking
+    /// discipline as spans.
+    pub fn record_events(&self, events: impl IntoIterator<Item = EventRecord>) {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .events
+            .extend(events);
+    }
+
     /// Number of runs begun so far.
     pub fn run_count(&self) -> usize {
         self.inner.lock().expect("run log poisoned").runs.len()
@@ -214,11 +249,17 @@ impl RunLog {
             .len()
     }
 
+    /// Number of event records captured so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").events.len()
+    }
+
     /// Serializes the log as JSONL: one `provenance` line, one `run`
-    /// line per run, one `job` line per span, then `interval`, `hist`
-    /// and `sample_unit` lines. Spans are ordered by `(run, claim)`,
-    /// intervals by `(run, id, seq)`, histograms by `(run, id, name)`,
-    /// sample units by `(run, id, unit)`, so the file
+    /// line per run, one `job` line per span, then `interval`, `hist`,
+    /// `sample_unit` and `event` lines. Spans are ordered by
+    /// `(run, claim)`, intervals by `(run, id, seq)`, histograms by
+    /// `(run, id, name)`, sample units by `(run, id, unit)`, events by
+    /// `(run, id, start, end, name)`, so the file
     /// is stable across thread timing — parallel runs race only in
     /// *completion* order, which is the one order we deliberately do
     /// not record.
@@ -276,6 +317,21 @@ impl RunLog {
                 w,
                 "{{\"ev\":\"sample_unit\",\"run\":{},\"id\":{},\"unit\":{},\"cluster\":{},\"start\":{},\"end\":{},\"detailed\":{},\"weight_ppm\":{}}}",
                 u.run, u.id, u.unit, u.cluster, u.start, u.end, u.detailed, u.weight_ppm,
+            )?;
+        }
+        let mut events: Vec<&EventRecord> = inner.events.iter().collect();
+        events.sort_by(|a, b| {
+            (a.run, a.id, a.start, a.end, &a.name).cmp(&(b.run, b.id, b.start, b.end, &b.name))
+        });
+        for e in events {
+            writeln!(
+                w,
+                "{{\"ev\":\"event\",\"run\":{},\"id\":{},\"name\":{},\"start\":{},\"end\":{}}}",
+                e.run,
+                e.id,
+                json::quote(&e.name),
+                e.start,
+                e.end,
             )?;
         }
         Ok(())
@@ -350,6 +406,7 @@ mod tests {
             timestamp: 1_700_000_000,
             workers: None,
             effort: None,
+            sim_mode: None,
         }
     }
 
@@ -495,6 +552,62 @@ mod tests {
             Json::Arr(items) => assert_eq!(items.len(), Histogram::BUCKETS),
             other => panic!("expected array, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn events_serialize_sorted_last() {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "t".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: None,
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.0,
+            counters: None,
+        });
+        // Recorded out of order; the file must come out
+        // (run, id, start, end, name)-ordered.
+        log.record_events([
+            EventRecord {
+                run,
+                id: 0,
+                name: "gc.pause".into(),
+                start: 500,
+                end: 900,
+            },
+            EventRecord {
+                run,
+                id: 0,
+                name: "window.reset".into(),
+                start: 100,
+                end: 100,
+            },
+        ]);
+        assert_eq!(log.event_count(), 2);
+
+        let text = log.to_jsonl(&test_prov());
+        let lines: Vec<&str> = text.lines().collect();
+        // prov + run + span + 2 events.
+        assert_eq!(lines.len(), 5);
+        let instant = parse(lines[3]).unwrap();
+        assert_eq!(instant.get("ev").and_then(Json::as_str), Some("event"));
+        assert_eq!(
+            instant.get("name").and_then(Json::as_str),
+            Some("window.reset")
+        );
+        assert_eq!(instant.get("start").and_then(Json::as_u64), Some(100));
+        assert_eq!(instant.get("end").and_then(Json::as_u64), Some(100));
+        let span = parse(lines[4]).unwrap();
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("gc.pause"));
+        assert_eq!(span.get("end").and_then(Json::as_u64), Some(900));
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl CounterSet for CpiReport {
     }
 }
 
+/// Every descriptor table this crate declares, for the `simdiff`
+/// drift policy. The processor model is a deterministic state machine,
+/// so every counter here is `Exact` (the `CounterDesc` default).
+pub fn descriptor_tables() -> Vec<&'static [CounterDesc]> {
+    vec![&COUNTER_SAMPLE_DESCS, &CPI_REPORT_DESCS]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

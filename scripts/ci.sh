@@ -55,6 +55,17 @@ echo "==> figure 10 trace + simreport over its interval RunLog"
 ./target/release/simreport --simstat-csv RUNLOG_figures.jsonl > SIMSTAT_figures.csv
 echo "==> SIMSTAT_figures.csv ($(wc -l < SIMSTAT_figures.csv) rows)"
 
+# The run observatory: export the figure-10 RunLog as a Chrome-trace
+# timeline (the artifact CI uploads for Perfetto), then gate its
+# counters against the committed baseline. The drift gate is blocking:
+# every counter is simulated and deterministic, so out-of-band drift
+# means a code change silently shifted simulation results. Refresh the
+# baseline deliberately with scripts/rebaseline.sh.
+echo "==> run observatory: Chrome-trace export + drift gate vs committed baseline"
+./target/release/simreport --trace TRACE_figures.json RUNLOG_figures.jsonl
+test -s TRACE_figures.json || { echo "simreport --trace did not write TRACE_figures.json"; exit 1; }
+./target/release/simdiff --baseline BASELINES.json RUNLOG_figures.jsonl | tee DRIFT_figures.txt
+
 # The sampled spine's correctness claim is measured, not assumed: the
 # differential matrix runs each config every-cycle and sampled, and the
 # binary exits non-zero if any metric breaks the error bound. The

@@ -159,6 +159,7 @@ fn run_log_attachment_leaves_outputs_bit_identical() {
         timestamp: 0,
         workers: None,
         effort: None,
+        sim_mode: None,
     });
     let parsed = probes::report::check(&jsonl).expect("runner emits schema-valid JSONL");
     assert!(parsed
@@ -235,6 +236,7 @@ fn interval_sampler_attachment_leaves_outputs_bit_identical() {
         timestamp: 0,
         workers: None,
         effort: None,
+        sim_mode: None,
     });
     let parsed = probes::report::check(&jsonl).expect("telemetry log passes the schema check");
     assert!(parsed.intervals.iter().all(|iv| iv.end > iv.start));
@@ -281,6 +283,129 @@ fn sampled_runs_are_identical_serial_and_parallel() {
             serial, parallel,
             "{threads}-thread sampled run diverged from the serial run"
         );
+    }
+}
+
+/// The run observatory is part of the determinism contract: the event
+/// streams the timeline is built from — GC pauses and window resets
+/// from the `TimelineCollector`, DRAM queue-stall episodes drained from
+/// the banked backend, and sample-unit strata from the sampled spine —
+/// serialize to byte-identical JSONL lines at 1, 2 and 4 workers, in
+/// both full and sampled modes. Events are stamped on the worker
+/// threads and sorted at serialization time, so worker scheduling must
+/// not leak into a single timestamp or a single record's order.
+#[test]
+fn event_records_are_bit_identical_across_worker_counts() {
+    use middlesim::engine::{measure_sampled, SamplingConfig};
+
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let cost = |&(p, _): &(usize, u64)| middlesim::Effort::Quick.cost_hint(p);
+    // A harder-scaled heap (divisor 512 vs the file-wide 64) shrinks the
+    // eden so GC pauses land inside the short test window.
+    let jbb_hot = |p: usize, s: u64, memory: MemoryConfig| {
+        let cfg = SpecJbbConfig::scaled(2 * p, 512);
+        let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
+        let mut mc = MachineConfig::e6000(p);
+        mc.seed = s;
+        mc.hierarchy.memory = memory;
+        Machine::new(mc, SpecJbb::new(cfg, region))
+    };
+    let prov = probes::Provenance {
+        git_rev: "test".into(),
+        hostname: "test".into(),
+        cpu_count: 4,
+        timestamp: 0,
+        workers: None,
+        effort: None,
+        sim_mode: None,
+    };
+    let event_lines = |log: &RunLog| -> Vec<String> {
+        log.to_jsonl(&prov)
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"event\""))
+            .map(str::to_string)
+            .collect()
+    };
+
+    // Full mode on the DRAM-timed backend: GC pauses, the window reset
+    // and queue-stall episodes all land in the stream.
+    let full = |&(p, s): &(usize, u64)| {
+        let mut m = jbb_hot(p, s, MemoryConfig::BankedDram(DramConfig::default()));
+        let timeline = m.attach_observer(middlesim::TimelineCollector::new());
+        m.run_until(10 * MCYCLES);
+        m.begin_measurement();
+        let start = m.time();
+        m.run_until(start + 20 * MCYCLES);
+        let mut events = m.observer(timeline).to_records(0, 0);
+        events.extend(
+            m.take_dram_stall_episodes()
+                .into_iter()
+                .map(|(start, end)| probes::runlog::EventRecord {
+                    run: 0,
+                    id: 0,
+                    name: "dram.stall".into(),
+                    start,
+                    end,
+                }),
+        );
+        let tele = middlesim::JobTelemetry::counters(Some(m.counters())).with_events(events);
+        (m.window_report(), tele)
+    };
+
+    // Sampled mode: the unit schedule's detailed / fast-forward /
+    // recovery strata join the GC timeline.
+    let sampled = |&(p, s): &(usize, u64)| {
+        let mut m = jbb_hot(p, s, MemoryConfig::Flat);
+        let timeline = m.attach_observer(middlesim::TimelineCollector::new());
+        let run = measure_sampled(
+            &mut m,
+            10 * MCYCLES,
+            20 * MCYCLES,
+            &SamplingConfig::for_window(20 * MCYCLES),
+        );
+        let mut events = m.observer(timeline).to_records(0, 0);
+        events.extend(run.event_records(0, 0));
+        let tele = middlesim::JobTelemetry::default().with_events(events);
+        (run.to_window_report(), tele)
+    };
+
+    type Body<'a> = &'a (dyn Fn(&(usize, u64)) -> (WindowReport, middlesim::JobTelemetry) + Sync);
+    let modes: [(&str, Body); 2] = [("full", &full), ("sampled", &sampled)];
+    for (tag, body) in modes {
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1, 2, 4] {
+            let log = Arc::new(RunLog::new());
+            let plan = ExperimentPlan::serial(middlesim::Effort::Quick)
+                .with_threads(threads)
+                .with_run_log(Arc::clone(&log), tag);
+            let _ = plan.run_telemetry(&jobs, cost, body);
+            let lines = event_lines(&log);
+            assert!(
+                !lines.is_empty(),
+                "{tag}-mode run produced no event records"
+            );
+            match &reference {
+                None => {
+                    // The streams carry the expected vocabularies.
+                    let has = |needle: &str| lines.iter().any(|l| l.contains(needle));
+                    assert!(has("gc.pause"), "{tag}-mode stream lacks gc.pause spans");
+                    assert!(has("window.reset"), "{tag}-mode stream lacks window.reset");
+                    if tag == "full" {
+                        assert!(has("dram.stall"), "full-mode stream lacks dram.stall");
+                    } else {
+                        assert!(has("unit."), "sampled-mode stream lacks unit strata");
+                    }
+                    reference = Some(lines);
+                }
+                Some(first) => assert_eq!(
+                    first, &lines,
+                    "{threads}-thread {tag}-mode event stream diverged from 1-thread"
+                ),
+            }
+        }
     }
 }
 
