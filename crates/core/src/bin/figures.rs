@@ -2,7 +2,12 @@
 //! published shapes hold.
 //!
 //! Usage: `figures [--sampled] [quick|standard|full]
-//!                 [4|5|...|16|10dram|memcurve|ablations|validate-sampled|all]`
+//!                 [4|5|...|16|10dram|attrib|memcurve|ablations|validate-sampled|all]...`
+//!
+//! Several figure names may be given at once (`figures quick 10 attrib`);
+//! they share the one plan and RunLog, so the written
+//! `RUNLOG_figures.jsonl` carries every named run — the form
+//! `rebaseline.sh` aggregates and `ci.sh` gates.
 //!
 //! `--sampled` routes every plan-run experiment through the
 //! signature-picked sampling path (one seed per point, fast-forward
@@ -49,7 +54,13 @@ fn main() {
     let sampled = args.iter().any(|a| a == "--sampled");
     args.retain(|a| a != "--sampled");
     let effort = effort_from(args.get(1).map(|s| s.as_str()));
-    let which = args.get(2).map(|s| s.as_str()).unwrap_or("all");
+    let whichs: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(|s| s.as_str()).collect()
+    } else {
+        vec!["all"]
+    };
+    let has = |n: &str| whichs.iter().any(|&w| w == n);
+    let all = has("all");
     let ps = processor_axis(effort);
     let log = Arc::new(RunLog::new());
     let mut plan = ExperimentPlan::new(effort).with_run_log(Arc::clone(&log), "figures");
@@ -58,40 +69,40 @@ fn main() {
     }
 
     let scaling_figs = ["4", "5", "6", "7", "8", "9"];
-    if which == "all" || scaling_figs.contains(&which) {
+    if all || scaling_figs.iter().any(|f| has(f)) {
         eprintln!(
             "running scaling sweep over {ps:?} at {effort:?} ({} workers)...",
             plan.threads()
         );
         let data = run_scaling_with(&plan, ps);
-        if which == "all" || which == "4" {
+        if all || has("4") {
             let f = figures::fig04::from_data(&data);
             report("Figure 4", f.table(), f.shape_violations());
         }
-        if which == "all" || which == "5" {
+        if all || has("5") {
             let f = figures::fig05::from_data(&data);
             report("Figure 5", f.table(), f.shape_violations());
         }
-        if which == "all" || which == "6" {
+        if all || has("6") {
             let f = figures::fig06::from_data(&data);
             report("Figure 6", f.table(), f.shape_violations());
         }
-        if which == "all" || which == "7" {
+        if all || has("7") {
             let f = figures::fig07::from_data(&data);
             report("Figure 7", f.table(), f.shape_violations());
         }
-        if which == "all" || which == "8" {
+        if all || has("8") {
             let f = figures::fig08::from_data(&data);
             report("Figure 8", f.table(), f.shape_violations());
         }
-        if which == "all" || which == "9" {
+        if all || has("9") {
             let f = figures::fig09::from_data(&data);
             report("Figure 9", f.table(), f.shape_violations());
         }
     }
 
-    if which == "all" || which == "10" || which == "10dram" {
-        let dram = which == "10dram";
+    if all || has("10") || has("10dram") {
+        let dram = has("10dram") && !all && !has("10");
         let (label, name) = if dram {
             ("fig10dram", "Figure 10 (banked DRAM)")
         } else {
@@ -133,7 +144,7 @@ fn main() {
         report(name, f.table(), f.shape_violations());
     }
 
-    if which == "all" || which == "11" {
+    if all || has("11") {
         eprintln!("running figure 11 scale sweep...");
         let axis = match effort {
             Effort::Quick => &figures::fig11::QUICK_SCALE_AXIS[..],
@@ -143,7 +154,7 @@ fn main() {
         report("Figure 11", f.table(), f.shape_violations());
     }
 
-    if which == "all" || which == "12" || which == "13" {
+    if all || has("12") || has("13") {
         eprintln!("running figure 12/13 uniprocessor sweeps...");
         let data = figures::fig12::run_sweeps_with(&plan);
         let f12 = figures::fig12::from_data(&data);
@@ -152,7 +163,7 @@ fn main() {
         report("Figure 13", f13.table(), f13.shape_violations());
     }
 
-    if which == "all" || which == "14" || which == "15" {
+    if all || has("14") || has("15") {
         eprintln!("running figure 14/15 communication footprints...");
         let f14 = figures::fig14::run_with(&plan, 8);
         let f15 = figures::fig15::from_fig14(&f14);
@@ -160,13 +171,19 @@ fn main() {
         report("Figure 15", f15.table(), f15.shape_violations());
     }
 
-    if which == "all" || which == "16" {
+    if all || has("16") {
         eprintln!("running figure 16 shared-cache topologies...");
         let f = figures::fig16::run_with(&plan);
         report("Figure 16", f.table(), f.shape_violations());
     }
 
-    if which == "all" || which == "memcurve" {
+    if all || has("attrib") {
+        eprintln!("running cycle-attribution profiles...");
+        let f = figures::attrib::run_with(&plan, 8);
+        report("Cycle attribution", f.table(), f.shape_violations());
+    }
+
+    if all || has("memcurve") {
         eprintln!("running bandwidth-latency curves...");
         let c = figures::memcurve::run_with(&plan);
         std::fs::write("MEMCURVE.csv", c.csv()).expect("write MEMCURVE.csv");
@@ -174,7 +191,7 @@ fn main() {
         report("Bandwidth-latency curves", c.table(), c.shape_violations());
     }
 
-    if which == "all" || which == "ablations" {
+    if all || has("ablations") {
         eprintln!("running ablations...");
         let ism = figures::ablations::run_ism(effort);
         report("Ablation: ISM", ism.table(), ism.shape_violations());
@@ -198,7 +215,7 @@ fn main() {
         );
     }
 
-    if which == "validate-sampled" {
+    if has("validate-sampled") {
         eprintln!("running sampled-vs-full differential validation...");
         let v = figures::validate::run_with(&plan);
         std::fs::write("SAMPLED_VALIDATION.csv", v.csv()).expect("write SAMPLED_VALIDATION.csv");
@@ -214,6 +231,7 @@ fn main() {
         || log.interval_count() > 0
         || log.sample_unit_count() > 0
         || log.event_count() > 0
+        || log.attrib_count() > 0
     {
         let prov = Provenance::capture()
             .with_workers(plan.threads())

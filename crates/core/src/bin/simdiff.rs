@@ -18,6 +18,12 @@
 //!                                              fresh baseline document
 //!                                              (the `rebaseline.sh` path)
 //!
+//! `--json` (anywhere in the argument list) switches the drift report
+//! to a machine-readable JSON document — verdict, per-counter rows
+//! (counter, baseline, observed, drift_ppm, class, out_of_band) in the
+//! same worst-first rank, and the missing/extra lists — for CI
+//! annotations and dashboards. Exit codes are unchanged.
+//!
 //! Comparisons across mismatched `effort` or `sim_mode` provenance are
 //! refused (exit 2): sampled-mode counters are extrapolated estimates
 //! and different efforts size different workloads, so the numbers are
@@ -32,9 +38,9 @@ use probes::report;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simdiff <base.jsonl> <current.jsonl>\n       simdiff --baseline \
-         BASELINES.json <current.jsonl>\n       simdiff --write-baseline BASELINES.json \
-         <runlog.jsonl>"
+        "usage: simdiff [--json] <base.jsonl> <current.jsonl>\n       simdiff [--json] \
+         --baseline BASELINES.json <current.jsonl>\n       simdiff --write-baseline \
+         BASELINES.json <runlog.jsonl>"
     );
     ExitCode::from(2)
 }
@@ -69,7 +75,9 @@ fn load_baseline(path: &str) -> Result<Baseline, ExitCode> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let (base, current) = match args.as_slice() {
         [flag, baseline_path, runlog_path] if flag == "--write-baseline" => {
             let base = match load_log(runlog_path) {
@@ -118,7 +126,11 @@ fn main() -> ExitCode {
 
     let policy = DriftPolicy::new(descriptor_tables());
     let report = diff(&base, &current, &policy);
-    print!("{}", report.render());
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.ok() {
         ExitCode::SUCCESS
     } else {

@@ -16,6 +16,17 @@
 //!   simreport --simstat-csv <runlog.jsonl>
 //!                                      one CSV row per sampled interval,
 //!                                      counter deltas as columns
+//!   simreport --attrib <runlog.jsonl>  cycle-attribution CPI-stack
+//!                                      tables (phase roll-up plus one
+//!                                      row per phase;component;cause;
+//!                                      region stack)
+//!   simreport --attrib-csv <runlog.jsonl>
+//!                                      one CSV row per attribution
+//!                                      stack (run, phase, component,
+//!                                      cause, region, cycles, share)
+//!   simreport --folded <runlog.jsonl>  attribution stacks in folded-
+//!                                      stack format for inferno /
+//!                                      flamegraph.pl / speedscope
 //!   simreport --trace TRACE.json <runlog.jsonl>
 //!                                      export the run observatory's
 //!                                      Chrome trace-event JSON (load in
@@ -34,13 +45,21 @@ use probes::{report, timeline};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simreport [--csv | --simstat | --simstat-csv | --trace TRACE.json | --check] \
-         <runlog.jsonl>"
+        "usage: simreport [--csv | --simstat | --simstat-csv | --attrib | --attrib-csv | \
+         --folded | --trace TRACE.json | --check] <runlog.jsonl>"
     );
     ExitCode::from(2)
 }
 
-const MODES: &[&str] = &["--csv", "--simstat", "--simstat-csv", "--check"];
+const MODES: &[&str] = &[
+    "--csv",
+    "--simstat",
+    "--simstat-csv",
+    "--attrib",
+    "--attrib-csv",
+    "--folded",
+    "--check",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,13 +99,14 @@ fn main() -> ExitCode {
             };
             println!(
                 "{path}: ok ({} runs, {} job spans, {} intervals, {} histograms, {} sample \
-                 units, {} events; trace: {summary})",
+                 units, {} events, {} attrib stacks; trace: {summary})",
                 log.runs.len(),
                 log.jobs.len(),
                 log.intervals.len(),
                 log.hists.len(),
                 log.sample_units.len(),
-                log.events.len()
+                log.events.len(),
+                log.attribs.len()
             );
         }
         "--trace" => {
@@ -109,6 +129,20 @@ fn main() -> ExitCode {
             );
         }
         "--csv" => print!("{}", report::render_csv(&log)),
+        "--attrib" | "--attrib-csv" | "--folded" => {
+            if log.attribs.is_empty() {
+                eprintln!(
+                    "simreport: {path}: no attrib records — this RunLog has no cycle \
+                     attribution to render (was an AttribProfiler attached?)"
+                );
+                return ExitCode::FAILURE;
+            }
+            match mode {
+                "--attrib" => print!("{}", report::render_attrib(&log)),
+                "--attrib-csv" => print!("{}", report::render_attrib_csv(&log)),
+                _ => print!("{}", report::render_folded(&log)),
+            }
+        }
         "--simstat" | "--simstat-csv" => {
             if log.intervals.is_empty() && log.hists.is_empty() {
                 eprintln!(

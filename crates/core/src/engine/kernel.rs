@@ -182,11 +182,11 @@ impl MemSink for StepSink<'_> {
                 .set_now(self.base_clock + (self.timer.cycles() - self.start_cycles));
         }
         let outcome = self.mem.access(self.cpu, kind, addr);
-        match kind {
+        let charge = match kind {
             AccessKind::Ifetch => self.timer.ifetch(&outcome),
             AccessKind::Load => self.timer.load(&outcome),
             AccessKind::Store => self.timer.store(&outcome),
-        }
+        };
         if !self.observers.is_empty() {
             // The issuing processor's time: its clock at step start plus
             // the cycles the timer has charged since (including this
@@ -200,6 +200,7 @@ impl MemSink for StepSink<'_> {
                 outcome: &outcome,
                 now,
                 source: self.source,
+                charge,
             });
         }
     }
@@ -401,6 +402,7 @@ impl<W: Workload> Machine<W> {
                         outcome: &outcome,
                         now: at,
                         source: AccessSource::KernelTick,
+                        charge: simcpu::StallCharge::default(),
                     });
                 }
             }

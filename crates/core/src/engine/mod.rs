@@ -13,6 +13,9 @@
 //!   window-scoped counters;
 //! - [`observer`] — the [`SimObserver`] seam through which interval
 //!   samplers, cache sweeps and per-line statistics watch a run;
+//! - [`attrib`] — the cycle-attribution profiler on that seam:
+//!   phase × component × cause × heap-region CPI stacks, exported as
+//!   RunLog `attrib` records and folded flamegraph stacks;
 //! - [`trace`] — reference-trace capture as an observer on that same
 //!   seam, and replay of captures as ordinary experiment-plan jobs;
 //! - [`sampling`] — the sampled-simulation spine: signature-picked
@@ -25,6 +28,7 @@
 //! to one (Figure 5) regardless of how control moves between layers.
 
 pub mod accounting;
+pub mod attrib;
 pub mod dispatch;
 pub mod gc_driver;
 pub mod kernel;
@@ -34,6 +38,7 @@ pub mod sampling;
 pub mod trace;
 
 pub use accounting::{Accounting, WindowReport};
+pub use attrib::AttribProfiler;
 pub use dispatch::{SchedParams, Scheduler};
 pub use gc_driver::GcDriver;
 pub use kernel::{Machine, MachineConfig};

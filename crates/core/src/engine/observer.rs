@@ -20,6 +20,7 @@ use std::marker::PhantomData;
 use memsys::{AccessKind, AccessOutcome, Addr, CacheSweep, LineStats};
 use probes::runlog::{EventRecord, IntervalRecord};
 use probes::Snapshot;
+use simcpu::StallCharge;
 
 // The source tag lives with the trace machinery in `memsys` (captured
 // streams carry it); it is re-exported here because the observer seam is
@@ -41,6 +42,9 @@ pub struct AccessEvent<'a> {
     pub now: u64,
     /// Which part of the simulated system issued it.
     pub source: AccessSource,
+    /// The stall cycles the CPU timer charged for this access (zero for
+    /// references outside any timer, e.g. kernel clock ticks).
+    pub charge: StallCharge,
 }
 
 /// A passive observer of a machine's execution.
@@ -575,6 +579,7 @@ mod tests {
             outcome: &o,
             now: 0,
             source,
+            charge: StallCharge::default(),
         };
         s.on_access(&mk(AccessKind::Load, AccessSource::Workload));
         s.on_access(&mk(AccessKind::Ifetch, AccessSource::Collector));
@@ -639,6 +644,7 @@ mod tests {
             outcome,
             now: 0,
             source: AccessSource::Workload,
+            charge: StallCharge::default(),
         };
         ls.on_access(&mk(0x00, &hit));
         ls.on_access(&mk(0x40, &c2c));

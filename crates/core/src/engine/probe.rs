@@ -64,6 +64,7 @@ pub fn descriptor_tables() -> Vec<&'static [CounterDesc]> {
     let mut tables = memsys::probe::descriptor_tables();
     tables.extend(simcpu::probe::descriptor_tables());
     tables.push(&ACCOUNTING_DESCS);
+    tables.push(crate::engine::attrib::descriptor_table());
     tables
 }
 

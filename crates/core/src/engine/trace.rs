@@ -147,6 +147,7 @@ mod tests {
             outcome,
             now: 0,
             source,
+            charge: simcpu::StallCharge::default(),
         }
     }
 

@@ -19,7 +19,8 @@ use std::time::Instant;
 use memsys::{Addr, AddrRange};
 use probes::registry::Snapshot;
 use probes::runlog::{
-    EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta, SampleUnitRecord,
+    AttribRecord, EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta,
+    SampleUnitRecord,
 };
 use probes::Histogram;
 use simstats::Summary;
@@ -134,6 +135,11 @@ pub struct JobTelemetry {
     /// strata, DRAM stall episodes). As with `samples`, the job fills
     /// name and `[start, end]`; the runner stamps `run`/`id`.
     pub events: Vec<EventRecord>,
+    /// Cycle-attribution stacks from an
+    /// [`AttribProfiler`](crate::engine::AttribProfiler). As with
+    /// `samples`, the job fills stack and cycles; the runner stamps
+    /// `run`/`id`.
+    pub attribs: Vec<AttribRecord>,
 }
 
 impl JobTelemetry {
@@ -160,6 +166,13 @@ impl JobTelemetry {
     /// emission like `samples`).
     pub fn with_events(mut self, events: impl IntoIterator<Item = EventRecord>) -> Self {
         self.events.extend(events);
+        self
+    }
+
+    /// Appends cycle-attribution stacks (placeholder `run`/`id`,
+    /// stamped at emission like `samples`).
+    pub fn with_attribs(mut self, attribs: impl IntoIterator<Item = AttribRecord>) -> Self {
+        self.attribs.extend(attribs);
         self
     }
 }
@@ -462,6 +475,13 @@ impl ExperimentPlan {
             binding
                 .log
                 .record_events(tele.events.into_iter().map(|mut r| {
+                    r.run = run;
+                    r.id = id;
+                    r
+                }));
+            binding
+                .log
+                .record_attribs(tele.attribs.into_iter().map(|mut r| {
                     r.run = run;
                     r.id = id;
                     r
@@ -851,6 +871,12 @@ mod tests {
                     start: 100,
                     end: 160,
                 }],
+                attribs: vec![AttribRecord {
+                    run: 0,
+                    id: 0,
+                    stack: "mutator;data_stall;memory;eden".to_string(),
+                    cycles: x + 1,
+                }],
             };
             (x * 7, tele)
         };
@@ -888,6 +914,12 @@ mod tests {
                 .events
                 .iter()
                 .all(|e| e.name == "gc.pause" && e.id < inputs.len() as u64));
+            // Attribution records were stamped the same way.
+            assert_eq!(parsed.attribs.len(), inputs.len());
+            assert!(parsed
+                .attribs
+                .iter()
+                .all(|a| a.stack.starts_with("mutator;") && a.id < inputs.len() as u64));
         }
     }
 

@@ -22,10 +22,12 @@
 //! | [`fig15`] | Distribution of cache-to-cache transfers (absolute) |
 //! | [`fig16`] | Shared-cache miss rates (CMP topologies) |
 //! | [`ablations`] | ISM pages, path length, object cache, c2c latency, memory backend |
+//! | [`attrib`] | Figure-7-style CPI stacks with the GC/mutator and heap-region split |
 //! | [`memcurve`] | Mess-style bandwidth–latency curves (BankedDram) |
 //! | [`validate`] | Sampled-vs-full differential validation (error bound) |
 
 pub mod ablations;
+pub mod attrib;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;

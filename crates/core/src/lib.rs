@@ -23,10 +23,10 @@ pub mod score;
 
 pub use cluster::{replay_into_database, run_cluster, run_cluster_with, ClusterReport};
 pub use engine::{
-    measure_sampled, replay_trace, replay_traces, AccessSource, IntervalSample, IntervalSampler,
-    LineStatsObserver, Machine, MachineConfig, ObserverHandle, ReplayReport, SampledRun,
-    SamplingConfig, SimMode, SimObserver, SweepObserver, TimelineCollector, TraceObserver,
-    WindowReport,
+    measure_sampled, replay_trace, replay_traces, AccessSource, AttribProfiler, IntervalSample,
+    IntervalSampler, LineStatsObserver, Machine, MachineConfig, ObserverHandle, ReplayReport,
+    SampledRun, SamplingConfig, SimMode, SimObserver, SweepObserver, TimelineCollector,
+    TraceObserver, WindowReport,
 };
 pub use experiment::{
     ecperf_machine, ecperf_machine_with, jbb_machine, jbb_machine_with, largest_first_order,

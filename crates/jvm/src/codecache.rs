@@ -55,6 +55,11 @@ impl CodeCache {
         id
     }
 
+    /// The whole code region (region classification).
+    pub fn region(&self) -> AddrRange {
+        self.region
+    }
+
     /// Number of installed methods.
     pub fn len(&self) -> usize {
         self.methods.len()

@@ -172,6 +172,21 @@ impl Heap {
         &self.stats
     }
 
+    /// Eden's address range (region classification).
+    pub fn eden_range(&self) -> AddrRange {
+        self.eden
+    }
+
+    /// The two survivor semi-spaces' address ranges.
+    pub fn survivor_ranges(&self) -> [AddrRange; 2] {
+        self.survivors
+    }
+
+    /// The old generation's address range.
+    pub fn old_range(&self) -> AddrRange {
+        self.old
+    }
+
     /// Current logical epoch (advanced by the workload, e.g. per
     /// transaction; session lifetimes are expressed in epochs).
     pub fn epoch(&self) -> u64 {

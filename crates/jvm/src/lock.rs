@@ -51,6 +51,11 @@ impl LockSet {
         id
     }
 
+    /// The region lock words are carved from (region classification).
+    pub fn region(&self) -> AddrRange {
+        self.region
+    }
+
     /// Number of monitors created.
     pub fn len(&self) -> u32 {
         self.count

@@ -41,6 +41,7 @@ pub mod linestats;
 mod mem;
 pub mod probe;
 pub mod protocol;
+pub mod region;
 pub mod sink;
 pub mod stats;
 pub mod sweep;
@@ -55,6 +56,7 @@ pub use config::{CacheConfig, ConfigError, DramConfig, HierarchyConfig, MemoryCo
 pub use directory::Directory;
 pub use linestats::LineStats;
 pub use protocol::{BusOp, LineState};
+pub use region::{RegionMap, OTHER_REGION};
 pub use sink::{CountingSink, MemSink, RecordingSink, TeeSink};
 pub use stats::{AccessKind, AccessOutcome, HitLevel, KindCounters, SystemStats};
 pub use sweep::{CacheSweep, SweepPoint, PAPER_SIZES};

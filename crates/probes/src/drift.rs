@@ -270,6 +270,44 @@ impl DriftReport {
         ));
         out
     }
+
+    /// Renders the comparison as a machine-readable JSON document (the
+    /// `simdiff --json` output): the gate verdict, one row per compared
+    /// counter in the same worst-first rank as [`render`](Self::render),
+    /// and the missing/extra name lists. Tolerance rows carry their
+    /// band as `band_ppm`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let class = match r.class {
+                DriftClass::Exact => "\"exact\"".to_string(),
+                DriftClass::Tolerance(band) => format!("\"tolerance\",\"band_ppm\":{band}"),
+            };
+            out.push_str(&format!(
+                "{{\"counter\":{},\"baseline\":{},\"observed\":{},\"drift_ppm\":{},\"class\":{class},\"out_of_band\":{}}}",
+                json::quote(&r.name),
+                r.base,
+                r.current,
+                r.drift_ppm,
+                r.out_of_band
+            ));
+        }
+        out.push_str("\n  ],\n");
+        let name_list = |names: &[String]| {
+            names
+                .iter()
+                .map(|n| json::quote(n))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!("  \"missing\": [{}],\n", name_list(&self.missing)));
+        out.push_str(&format!("  \"extra\": [{}]\n", name_list(&self.extra)));
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Refuses comparisons whose provenance marks them incomparable:
@@ -402,6 +440,68 @@ mod tests {
         let report = diff(&b, &c, &policy());
         assert!(!report.ok());
         assert_eq!(report.rows[0].drift_ppm, 60_000);
+    }
+
+    #[test]
+    fn json_report_round_trips_and_ranks_like_the_table() {
+        let b = base_with(&[
+            ("t.instr", 1_000_000),
+            ("t.stall_cycles", 1_000_000),
+            ("t.gone", 5),
+        ]);
+        let c = base_with(&[
+            ("t.instr", 1_000_001),
+            ("t.stall_cycles", 1_010_000),
+            ("t.new", 7),
+        ]);
+        let report = diff(&b, &c, &policy());
+        let doc = json::parse(&report.render_json()).expect("render_json emits valid JSON");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let rows = doc.get("rows").and_then(Json::elements).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Same worst-first rank as the text table: the exact failure
+        // leads, with its full verdict fields.
+        assert_eq!(
+            rows[0].get("counter").and_then(Json::as_str),
+            Some("t.instr")
+        );
+        assert_eq!(
+            rows[0].get("baseline").and_then(Json::as_u64),
+            Some(1_000_000)
+        );
+        assert_eq!(
+            rows[0].get("observed").and_then(Json::as_u64),
+            Some(1_000_001)
+        );
+        assert_eq!(rows[0].get("drift_ppm").and_then(Json::as_u64), Some(1));
+        assert_eq!(rows[0].get("class").and_then(Json::as_str), Some("exact"));
+        assert_eq!(
+            rows[0].get("out_of_band").and_then(Json::as_bool),
+            Some(true)
+        );
+        // Tolerance rows carry their band.
+        assert_eq!(
+            rows[1].get("class").and_then(Json::as_str),
+            Some("tolerance")
+        );
+        assert_eq!(rows[1].get("band_ppm").and_then(Json::as_u64), Some(50_000));
+        assert_eq!(
+            rows[1].get("out_of_band").and_then(Json::as_bool),
+            Some(false)
+        );
+        let missing = doc.get("missing").and_then(Json::elements).unwrap();
+        assert_eq!(missing[0].as_str(), Some("t.gone"));
+        let extra = doc.get("extra").and_then(Json::elements).unwrap();
+        assert_eq!(extra[0].as_str(), Some("t.new"));
+
+        // A clean diff renders ok=true with empty lists.
+        let clean = diff(&b, &b.clone(), &policy());
+        let doc = json::parse(&clean.render_json()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("missing").and_then(Json::elements).unwrap().len(),
+            0
+        );
     }
 
     #[test]

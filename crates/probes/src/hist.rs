@@ -315,6 +315,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile(q), 0, "quantile({q}) on empty histogram");
+        }
+        assert!(h.is_empty());
+        assert_eq!(h.to_json(), {
+            let mut s = String::from("{\"count\":0,\"sum\":0,\"buckets\":[0");
+            s.push_str(&",0".repeat(Histogram::BUCKETS - 1));
+            s.push_str("]}");
+            s
+        });
+    }
+
+    #[test]
+    fn single_bucket_histogram_pins_every_quantile() {
+        // All mass in one bucket: every quantile is that bucket's upper
+        // bound, regardless of rank.
+        let mut h = Histogram::new();
+        h.record_n(10, 1_000); // bucket [8..15]
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 15, "quantile({q})");
+        }
+        // Out-of-range q clamps instead of indexing out of the buckets.
+        assert_eq!(h.quantile(-1.0), 15);
+        assert_eq!(h.quantile(2.0), 15);
+
+        // A single sample of zero stays in the zero bucket.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.p50(), 0);
+        assert_eq!(z.p99(), 0);
+        assert_eq!(z.mean(), 0.0);
+
+        // The saturating top bucket reports its lower bound, not
+        // u64::MAX.
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.p50(), 1u64 << (Histogram::BUCKETS - 2));
+    }
+
+    #[test]
     fn json_round_trips_through_from_parts() {
         let mut h = Histogram::new();
         for v in [0, 3, 3, 70, 5000] {

@@ -59,10 +59,26 @@ impl Json {
         }
     }
 
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The object members, if it is an object.
     pub fn members(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if it is an array.
+    pub fn elements(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
             _ => None,
         }
     }
@@ -350,5 +366,68 @@ mod tests {
         assert_eq!(parse("3.5").unwrap().as_u64(), None);
         assert_eq!(parse("-3").unwrap().as_u64(), None);
         assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn decodes_every_escape_form() {
+        let v = parse(r#""\"\\\/\b\f\n\r\tAé☃""#).unwrap();
+        assert_eq!(v.as_str(), Some("\"\\/\u{8}\u{c}\n\r\tAé☃"));
+        // \u0000 is a valid scalar even though quote() re-encodes it.
+        assert_eq!(parse("\"\\u0000\"").unwrap().as_str(), Some("\0"));
+        // Control characters survive a quote/parse round trip.
+        let original = "bell\u{7} and nul\0";
+        assert_eq!(parse(&quote(original)).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_bad_escapes() {
+        assert!(parse(r#""\q""#).is_err(), "unknown escape letter");
+        assert!(parse(r#""\u12""#).is_err(), "truncated \\u escape");
+        assert!(parse(r#""\uzzzz""#).is_err(), "non-hex \\u escape");
+        assert!(parse(r#""\ud800""#).is_err(), "lone surrogate");
+        assert!(parse(r#""\"#).is_err(), "escape at end of input");
+    }
+
+    #[test]
+    fn truncated_documents_error_instead_of_panicking() {
+        for src in [
+            "{\"a\":",
+            "{\"a\": 1,",
+            "[1, 2",
+            "\"unterminated",
+            "tru",
+            "-",
+            "{\"a\": \"b",
+            "[[[",
+        ] {
+            assert!(parse(src).is_err(), "{src:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn deeply_nested_arrays_parse_and_navigate() {
+        // 2000 levels of nesting: the parser must neither reject nor
+        // blow the stack (Parser::array loops only via value(), so depth
+        // is bounded by recursion — keep it well inside default stacks).
+        let depth = 2000;
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push('[');
+        }
+        src.push('7');
+        for _ in 0..depth {
+            src.push(']');
+        }
+        let mut v = &parse(&src).unwrap();
+        let mut seen = 0;
+        while let Some(items) = v.elements() {
+            assert_eq!(items.len(), 1);
+            v = &items[0];
+            seen += 1;
+        }
+        assert_eq!(seen, depth);
+        assert_eq!(v.as_u64(), Some(7));
+        // An unbalanced deep nest still errors cleanly.
+        assert!(parse(&"[".repeat(depth)).is_err());
     }
 }

@@ -24,8 +24,9 @@
 //!   transaction response) that interval counters cannot carry.
 //! - [`report`] — `mpstat`-style per-run worker tables and a
 //!   `cpustat`-style counter dump rendered from a RunLog, in human text
-//!   and machine CSV, plus `simstat` interval tables/sparklines and the
-//!   JSONL schema check behind `simreport --check`.
+//!   and machine CSV, plus `simstat` interval tables/sparklines,
+//!   cycle-attribution CPI-stack tables with folded-stack flamegraph
+//!   export, and the JSONL schema check behind `simreport --check`.
 //! - [`provenance`] — host/commit/config metadata (`git_rev`,
 //!   `hostname`, `cpu_count`, `timestamp`, worker count, effort,
 //!   simulation mode) stamped into every RunLog and `BENCH_*.json` so
@@ -55,4 +56,4 @@ pub use hist::Histogram;
 pub use json::{Json, JsonError};
 pub use provenance::Provenance;
 pub use registry::{CounterDesc, CounterKind, CounterSet, DriftClass, Snapshot};
-pub use runlog::{EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};
+pub use runlog::{AttribRecord, EventRecord, HistRecord, IntervalRecord, JobSpan, RunLog, RunMeta};

@@ -37,6 +37,9 @@ pub struct ParsedLog {
     /// Sim-time events, in file order (`(run, id, start, end, name)`-
     /// sorted by the serializer).
     pub events: Vec<EventEntry>,
+    /// Cycle-attribution stacks, in file order (`(run, id, stack)`-
+    /// sorted by the serializer).
+    pub attribs: Vec<AttribEntry>,
 }
 
 /// The `provenance` event.
@@ -165,6 +168,24 @@ pub struct EventEntry {
     /// instant).
     pub end: u64,
 }
+
+/// One `attrib` record: a weighted cycle-attribution stack from one
+/// job, `phase;component;cause;region` folded-stack style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttribEntry {
+    /// Run the stack belongs to.
+    pub run: u64,
+    /// Input-order index of the job that attributed it.
+    pub id: u64,
+    /// Semicolon-separated frames, root first.
+    pub stack: String,
+    /// Cycles attributed to this stack.
+    pub cycles: u64,
+}
+
+/// Frames an attribution stack must carry: phase, component, cause,
+/// region.
+const ATTRIB_FRAMES: usize = 4;
 
 /// Parses and schema-checks a RunLog JSONL document.
 ///
@@ -394,6 +415,42 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                 }
                 log.events.push(entry);
             }
+            "attrib" => {
+                let entry = AttribEntry {
+                    run: req_u64(&v, "run", lineno)?,
+                    id: req_u64(&v, "id", lineno)?,
+                    stack: req_str(&v, "stack", lineno)?,
+                    cycles: req_u64(&v, "cycles", lineno)?,
+                };
+                if entry.run as usize >= log.runs.len() {
+                    return Err(format!(
+                        "line {lineno}: attrib references run {} before its run event",
+                        entry.run
+                    ));
+                }
+                let meta = &log.runs[entry.run as usize];
+                if entry.id >= meta.jobs {
+                    return Err(format!(
+                        "line {lineno}: attrib job id out of range for a {}-job run",
+                        meta.jobs
+                    ));
+                }
+                let frames: Vec<&str> = entry.stack.split(';').collect();
+                if frames.len() != ATTRIB_FRAMES || frames.iter().any(|f| f.is_empty()) {
+                    return Err(format!(
+                        "line {lineno}: attrib stack {:?} is not {ATTRIB_FRAMES} non-empty \
+                         semicolon-separated frames (phase;component;cause;region)",
+                        entry.stack
+                    ));
+                }
+                if entry.cycles == 0 {
+                    return Err(format!(
+                        "line {lineno}: attrib stack {:?} carries zero cycles",
+                        entry.stack
+                    ));
+                }
+                log.attribs.push(entry);
+            }
             other => return Err(format!("line {lineno}: unknown event type {other:?}")),
         }
     }
@@ -457,6 +514,37 @@ pub fn check(src: &str) -> Result<ParsedLog, String> {
                 return Err(format!(
                     "run {run} job {id}: sample unit weights sum to {sum} ppm across {n} \
                      clusters (expected 1000000 - rounding)",
+                ));
+            }
+        }
+    }
+    // Attribution stacks must be unique per job, and when a job's span
+    // carries the profiler's own `attrib.cycles` counter, the stack
+    // weights must add up to it exactly — the counter is computed from
+    // the same accumulator, so any mismatch means dropped records.
+    {
+        let mut seen: std::collections::HashSet<(u64, u64, &str)> =
+            std::collections::HashSet::new();
+        let mut sums: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+        for at in &log.attribs {
+            if !seen.insert((at.run, at.id, &at.stack)) {
+                return Err(format!(
+                    "run {} job {}: duplicate attrib stack {:?}",
+                    at.run, at.id, at.stack
+                ));
+            }
+            *sums.entry((at.run, at.id)).or_insert(0) += at.cycles;
+        }
+        for j in &log.jobs {
+            let Some((_, declared)) = j.counters.iter().find(|(n, _)| n == "attrib.cycles") else {
+                continue;
+            };
+            let recorded = sums.get(&(j.run, j.id)).copied().unwrap_or(0);
+            if recorded != *declared {
+                return Err(format!(
+                    "run {} job {}: attrib stacks sum to {recorded} cycles but the span \
+                     declares attrib.cycles={declared}",
+                    j.run, j.id
                 ));
             }
         }
@@ -915,6 +1003,142 @@ fn render_hist_table(out: &mut String, log: &ParsedLog) {
             h.hist.p99()
         );
     }
+}
+
+/// Renders the `attrib` view: per run, a CPI-stack table — one row per
+/// `phase;component;cause;region` stack, cycle-weighted, largest first
+/// — preceded by a per-phase roll-up (the paper's GC/mutator split).
+/// Cycle shares divide by the run's total attributed cycles; the CPI
+/// column divides by the phase's retired instructions when the job
+/// spans carry `attrib.<phase>_instr` counters.
+pub fn render_attrib(log: &ParsedLog) -> String {
+    let mut out = String::new();
+    if let Some(p) = &log.provenance {
+        let _ = writeln!(
+            out,
+            "attrib: rev {} on {} ({} cpus), t={}",
+            p.git_rev, p.hostname, p.cpu_count, p.timestamp
+        );
+    }
+    for (run, meta) in log.runs.iter().enumerate() {
+        let stacks = fold_stacks(log, Some(run as u64));
+        if stacks.is_empty() {
+            continue;
+        }
+        let total: u64 = stacks.iter().map(|&(_, c)| c).sum();
+        let _ = writeln!(
+            out,
+            "\nrun {run} [{}]  effort={}  {} stacks, {total} cycles attributed",
+            meta.tag,
+            meta.effort,
+            stacks.len()
+        );
+        // Per-phase roll-up with CPI where the spans carry the
+        // profiler's instruction counters.
+        let mut phases: Vec<(&str, u64)> = Vec::new();
+        for (stack, cycles) in &stacks {
+            let phase = stack.split(';').next().unwrap_or("");
+            match phases.iter_mut().find(|(p, _)| p == &phase) {
+                Some((_, c)) => *c += cycles,
+                None => phases.push((phase, *cycles)),
+            }
+        }
+        phases.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (phase, cycles) in &phases {
+            let instr: u64 = log
+                .jobs
+                .iter()
+                .filter(|j| j.run == run as u64)
+                .filter_map(|j| {
+                    let name = format!("attrib.{phase}_instr");
+                    j.counters.iter().find(|(n, _)| n == &name).map(|&(_, v)| v)
+                })
+                .sum();
+            let share = 100.0 * *cycles as f64 / total as f64;
+            if instr > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {phase:<8} {cycles:>16} cycles  {share:>5.1}%  cpi {:>6.3}",
+                    *cycles as f64 / instr as f64
+                );
+            } else {
+                let _ = writeln!(out, "  {phase:<8} {cycles:>16} cycles  {share:>5.1}%");
+            }
+        }
+        // The CPI stack itself, largest contributor first.
+        let mut rows = stacks;
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let width = rows.iter().map(|(s, _)| s.len()).max().unwrap_or(5).max(5);
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>16}  {:>6}",
+            "stack", "cycles", "share%"
+        );
+        for (stack, cycles) in &rows {
+            let share = 100.0 * *cycles as f64 / total as f64;
+            let _ = writeln!(out, "  {stack:<width$}  {cycles:>16}  {share:>6.2}");
+        }
+    }
+    if out.is_empty() || log.attribs.is_empty() {
+        let _ = writeln!(out, "no attrib records in log");
+    }
+    out
+}
+
+/// Renders the attribution folds as CSV — one row per
+/// `(run, phase, component, cause, region)` stack, largest first
+/// within each run, with the cycle weight and its share of the run's
+/// attributed cycles. The machine-readable companion of
+/// [`render_attrib`], for CI artifacts and spreadsheets.
+pub fn render_attrib_csv(log: &ParsedLog) -> String {
+    let mut out = String::from("run,phase,component,cause,region,cycles,share_pct\n");
+    for run in 0..log.runs.len() {
+        let mut rows = fold_stacks(log, Some(run as u64));
+        let total: u64 = rows.iter().map(|&(_, c)| c).sum();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (stack, cycles) in rows {
+            let mut f = stack.split(';');
+            let phase = f.next().unwrap_or("");
+            let component = f.next().unwrap_or("");
+            let cause = f.next().unwrap_or("");
+            let region = f.next().unwrap_or("");
+            let share = 100.0 * cycles as f64 / total.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{run},{phase},{component},{cause},{region},{cycles},{share:.3}"
+            );
+        }
+    }
+    out
+}
+
+/// Renders the attribution stacks in folded-stack format — one
+/// `frame;frame;... weight` line per distinct stack, cycles summed
+/// across runs and jobs — ready for inferno / flamegraph.pl /
+/// speedscope.
+pub fn render_folded(log: &ParsedLog) -> String {
+    let mut out = String::new();
+    for (stack, cycles) in fold_stacks(log, None) {
+        let _ = writeln!(out, "{stack} {cycles}");
+    }
+    out
+}
+
+/// Sums attribution cycles per distinct stack, optionally restricted to
+/// one run, sorted by stack name.
+fn fold_stacks(log: &ParsedLog, run: Option<u64>) -> Vec<(String, u64)> {
+    let mut folded: Vec<(String, u64)> = Vec::new();
+    for at in &log.attribs {
+        if run.is_some_and(|r| at.run != r) {
+            continue;
+        }
+        match folded.iter_mut().find(|(s, _)| s == &at.stack) {
+            Some((_, c)) => *c += at.cycles,
+            None => folded.push((at.stack.clone(), at.cycles)),
+        }
+    }
+    folded.sort_by(|a, b| a.0.cmp(&b.0));
+    folded
 }
 
 /// Renders the interval series as CSV: fixed columns, then one column
@@ -1425,6 +1649,160 @@ mod tests {
         );
         assert_eq!(lines[1], "0,simstat,0,0,0,1000,0,50,400000");
         assert_eq!(lines[2], "0,simstat,0,1,1000,2000,1,10,600000");
+    }
+
+    fn attrib_log() -> String {
+        use crate::runlog::AttribRecord;
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "attrib".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: Some("specjbb".into()),
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.1,
+            counters: None,
+        });
+        log.record_attribs([
+            AttribRecord {
+                run,
+                id: 0,
+                stack: "mutator;data_stall;memory;eden".into(),
+                cycles: 700,
+            },
+            AttribRecord {
+                run,
+                id: 0,
+                stack: "mutator;data_stall;c2c;old_gen".into(),
+                cycles: 200,
+            },
+            AttribRecord {
+                run,
+                id: 0,
+                stack: "gc;other;base;all".into(),
+                cycles: 100,
+            },
+        ]);
+        log.to_jsonl(&Provenance {
+            git_rev: "abc123".into(),
+            hostname: "h".into(),
+            cpu_count: 2,
+            timestamp: 1,
+            workers: None,
+            effort: None,
+            sim_mode: None,
+        })
+    }
+
+    #[test]
+    fn check_accepts_attrib_records() {
+        let parsed = check(&attrib_log()).unwrap();
+        assert_eq!(parsed.attribs.len(), 3);
+        // Serializer sorts by (run, id, stack).
+        assert_eq!(parsed.attribs[0].stack, "gc;other;base;all");
+        assert_eq!(parsed.attribs[2].cycles, 700);
+    }
+
+    #[test]
+    fn check_rejects_malformed_attrib_records() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = "{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1}";
+        let attrib = |body: &str| format!("{prov}\n{run}\n{job}\n{{\"ev\":\"attrib\",{body}}}");
+        // Wrong frame count.
+        let bad = attrib("\"run\":0,\"id\":0,\"stack\":\"mutator;data_stall\",\"cycles\":10");
+        assert!(check(&bad).unwrap_err().contains("non-empty"));
+        // Empty frame.
+        let bad = attrib("\"run\":0,\"id\":0,\"stack\":\"mutator;;c2c;eden\",\"cycles\":10");
+        assert!(check(&bad).unwrap_err().contains("non-empty"));
+        // Zero weight.
+        let bad = attrib("\"run\":0,\"id\":0,\"stack\":\"a;b;c;d\",\"cycles\":0");
+        assert!(check(&bad).unwrap_err().contains("zero cycles"));
+        // Job id out of range.
+        let bad = attrib("\"run\":0,\"id\":7,\"stack\":\"a;b;c;d\",\"cycles\":1");
+        assert!(check(&bad).unwrap_err().contains("out of range"));
+        // Before its run event.
+        let bad = format!(
+            "{prov}\n{{\"ev\":\"attrib\",\"run\":0,\"id\":0,\"stack\":\"a;b;c;d\",\"cycles\":1}}"
+        );
+        assert!(check(&bad).unwrap_err().contains("before its run event"));
+        // Duplicate stack within one job.
+        let stack = "{\"ev\":\"attrib\",\"run\":0,\"id\":0,\"stack\":\"a;b;c;d\",\"cycles\":1}";
+        let bad = format!("{prov}\n{run}\n{job}\n{stack}\n{stack}");
+        assert!(check(&bad).unwrap_err().contains("duplicate attrib stack"));
+    }
+
+    #[test]
+    fn check_cross_validates_attrib_sum_against_span_counter() {
+        let prov = "{\"ev\":\"provenance\",\"git_rev\":\"a\",\"hostname\":\"h\",\"cpu_count\":1,\"timestamp\":0}";
+        let run = "{\"ev\":\"run\",\"run\":0,\"tag\":\"t\",\"effort\":\"quick\",\"threads\":1,\"jobs\":1}";
+        let job = |declared: u64| {
+            format!(
+                "{{\"ev\":\"job\",\"run\":0,\"id\":0,\"worker\":0,\"claim\":0,\"wall_secs\":0.1,\
+                 \"counters\":{{\"attrib.cycles\":{declared}}}}}"
+            )
+        };
+        let stack = "{\"ev\":\"attrib\",\"run\":0,\"id\":0,\"stack\":\"a;b;c;d\",\"cycles\":40}";
+        let ok = format!("{prov}\n{run}\n{}\n{stack}", job(40));
+        assert!(check(&ok).is_ok());
+        let bad = format!("{prov}\n{run}\n{}\n{stack}", job(41));
+        let err = check(&bad).unwrap_err();
+        assert!(err.contains("sum to 40"), "{err}");
+        assert!(err.contains("attrib.cycles=41"), "{err}");
+    }
+
+    #[test]
+    fn attrib_report_rolls_up_phases_and_ranks_stacks() {
+        let parsed = check(&attrib_log()).unwrap();
+        let text = render_attrib(&parsed);
+        assert!(text.contains("3 stacks, 1000 cycles attributed"));
+        // Phase roll-up: mutator 90%, gc 10%.
+        assert!(text.contains("mutator"));
+        assert!(text.contains("90.0%"));
+        assert!(text.contains("10.0%"));
+        // Largest stack ranks first in the table body (after the
+        // column-header line).
+        let table = &text[text.find("\n  stack").unwrap()..];
+        let memory = table.find("mutator;data_stall;memory;eden").unwrap();
+        let c2c = table.find("mutator;data_stall;c2c;old_gen").unwrap();
+        assert!(memory < c2c);
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_ready() {
+        let parsed = check(&attrib_log()).unwrap();
+        let folded = render_folded(&parsed);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.contains(&"mutator;data_stall;memory;eden 700"));
+        // Every line is `frames <weight>` with exactly one space.
+        for line in &lines {
+            let (stack, weight) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 4);
+            weight.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn attrib_csv_splits_frames_and_ranks_largest_first() {
+        let parsed = check(&attrib_log()).unwrap();
+        let csv = render_attrib_csv(&parsed);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "run,phase,component,cause,region,cycles,share_pct"
+        );
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "0,mutator,data_stall,memory,eden,700,70.000");
+        assert_eq!(lines[2], "0,mutator,data_stall,c2c,old_gen,200,20.000");
+        assert_eq!(lines[3], "0,gc,other,base,all,100,10.000");
     }
 
     #[test]

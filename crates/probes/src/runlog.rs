@@ -141,6 +141,27 @@ pub struct EventRecord {
     pub end: u64,
 }
 
+/// One weighted folded stack from a job's cycle-attribution profiler:
+/// a semicolon-separated frame path (`phase;component;cause;region`)
+/// with the stall cycles attributed to it. The flamegraph record —
+/// `simreport --folded` renders these in the format inferno and
+/// speedscope consume.
+///
+/// Like every other record kind, attribution stacks are collected on
+/// worker threads after a job finishes and never touch the runner's
+/// merge path, so recording them preserves worker-count bit-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttribRecord {
+    /// Which run this stack belongs to.
+    pub run: usize,
+    /// Input-order index of the job that profiled it.
+    pub id: usize,
+    /// Semicolon-separated frames, e.g. `mutator;data_stall;c2c;old_gen`.
+    pub stack: String,
+    /// Cycles attributed to this stack.
+    pub cycles: u64,
+}
+
 /// A thread-safe sink for run metadata and job spans.
 ///
 /// One log may span several plan runs (bench_plan logs its serial and
@@ -159,6 +180,7 @@ struct Inner {
     hists: Vec<HistRecord>,
     sample_units: Vec<SampleUnitRecord>,
     events: Vec<EventRecord>,
+    attribs: Vec<AttribRecord>,
 }
 
 impl RunLog {
@@ -220,6 +242,16 @@ impl RunLog {
             .extend(events);
     }
 
+    /// Records a job's attribution stacks. Worker-thread path, same
+    /// locking discipline as spans.
+    pub fn record_attribs(&self, attribs: impl IntoIterator<Item = AttribRecord>) {
+        self.inner
+            .lock()
+            .expect("run log poisoned")
+            .attribs
+            .extend(attribs);
+    }
+
     /// Number of runs begun so far.
     pub fn run_count(&self) -> usize {
         self.inner.lock().expect("run log poisoned").runs.len()
@@ -254,12 +286,18 @@ impl RunLog {
         self.inner.lock().expect("run log poisoned").events.len()
     }
 
+    /// Number of attribution records captured so far.
+    pub fn attrib_count(&self) -> usize {
+        self.inner.lock().expect("run log poisoned").attribs.len()
+    }
+
     /// Serializes the log as JSONL: one `provenance` line, one `run`
     /// line per run, one `job` line per span, then `interval`, `hist`,
-    /// `sample_unit` and `event` lines. Spans are ordered by
+    /// `sample_unit`, `event` and `attrib` lines. Spans are ordered by
     /// `(run, claim)`, intervals by `(run, id, seq)`, histograms by
     /// `(run, id, name)`, sample units by `(run, id, unit)`, events by
-    /// `(run, id, start, end, name)`, so the file
+    /// `(run, id, start, end, name)`, attribution stacks by
+    /// `(run, id, stack)`, so the file
     /// is stable across thread timing — parallel runs race only in
     /// *completion* order, which is the one order we deliberately do
     /// not record.
@@ -332,6 +370,18 @@ impl RunLog {
                 json::quote(&e.name),
                 e.start,
                 e.end,
+            )?;
+        }
+        let mut attribs: Vec<&AttribRecord> = inner.attribs.iter().collect();
+        attribs.sort_by(|a, b| (a.run, a.id, &a.stack).cmp(&(b.run, b.id, &b.stack)));
+        for a in attribs {
+            writeln!(
+                w,
+                "{{\"ev\":\"attrib\",\"run\":{},\"id\":{},\"stack\":{},\"cycles\":{}}}",
+                a.run,
+                a.id,
+                json::quote(&a.stack),
+                a.cycles,
             )?;
         }
         Ok(())
@@ -608,6 +658,61 @@ mod tests {
         let span = parse(lines[4]).unwrap();
         assert_eq!(span.get("name").and_then(Json::as_str), Some("gc.pause"));
         assert_eq!(span.get("end").and_then(Json::as_u64), Some(900));
+    }
+
+    #[test]
+    fn attribs_serialize_sorted_after_events() {
+        let log = RunLog::new();
+        let run = log.begin_run(RunMeta {
+            tag: "t".into(),
+            effort: "quick".into(),
+            threads: 1,
+            jobs: 1,
+        });
+        log.record_span(JobSpan {
+            run,
+            id: 0,
+            label: None,
+            worker: 0,
+            claim: 0,
+            cost_hint: None,
+            wall_secs: 0.0,
+            counters: None,
+        });
+        // Recorded out of order; the file must come out
+        // (run, id, stack)-ordered.
+        log.record_attribs([
+            AttribRecord {
+                run,
+                id: 0,
+                stack: "mutator;data_stall;memory;eden".into(),
+                cycles: 75,
+            },
+            AttribRecord {
+                run,
+                id: 0,
+                stack: "gc;data_stall;c2c;old_gen".into(),
+                cycles: 105,
+            },
+        ]);
+        assert_eq!(log.attrib_count(), 2);
+
+        let text = log.to_jsonl(&test_prov());
+        let lines: Vec<&str> = text.lines().collect();
+        // prov + run + span + 2 attribs.
+        assert_eq!(lines.len(), 5);
+        let first = parse(lines[3]).unwrap();
+        assert_eq!(first.get("ev").and_then(Json::as_str), Some("attrib"));
+        assert_eq!(
+            first.get("stack").and_then(Json::as_str),
+            Some("gc;data_stall;c2c;old_gen")
+        );
+        assert_eq!(first.get("cycles").and_then(Json::as_u64), Some(105));
+        let second = parse(lines[4]).unwrap();
+        assert_eq!(
+            second.get("stack").and_then(Json::as_str),
+            Some("mutator;data_stall;memory;eden")
+        );
     }
 
     #[test]

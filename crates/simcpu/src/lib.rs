@@ -40,5 +40,5 @@ pub mod storebuf;
 
 pub use counters::{CounterSample, IntervalSampler};
 pub use latency::{cycles_to_seconds, LatencyTable, CLOCK_HZ};
-pub use pipeline::{CpiReport, CpuTimer, DataStall, PipelineParams};
+pub use pipeline::{CpiReport, CpuTimer, DataStall, PipelineParams, StallCharge};
 pub use storebuf::{StoreBuffer, DEFAULT_DEPTH};

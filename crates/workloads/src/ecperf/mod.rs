@@ -266,6 +266,9 @@ pub struct Ecperf {
     _workspaces: Vec<ObjectId>,
     /// JVM-internal shared structures (see the SPECjbb equivalent).
     jvm_shared: ObjectId,
+    /// The kernel network region (attribution classifies its traffic
+    /// as `kernel`).
+    kernel_region: AddrRange,
     /// Logged database queries (when `log_queries` is on).
     query_log: Vec<DbQuery>,
 }
@@ -356,6 +359,7 @@ impl Ecperf {
             threads,
             _workspaces: workspaces,
             jvm_shared,
+            kernel_region,
             query_log: Vec::new(),
         }
     }
@@ -590,6 +594,13 @@ impl Workload for Ecperf {
             locks.push(LockDesc::spin_mutex());
         }
         locks
+    }
+
+    fn region_map(&self) -> memsys::RegionMap {
+        let mut map =
+            crate::regions::jvm_region_map(&self.heap, &self.code, &self.lockset, &self.threads);
+        map.insert(self.kernel_region, "kernel");
+        map
     }
 
     fn step(&mut self, thread: usize, ctx: &mut StepCtx<'_>) -> StepResult {

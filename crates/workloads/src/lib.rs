@@ -21,6 +21,7 @@ pub mod ecperf;
 pub mod methodset;
 pub mod model;
 pub mod objtree;
+pub(crate) mod regions;
 pub mod specjbb;
 pub mod zipf;
 

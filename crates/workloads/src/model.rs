@@ -15,7 +15,7 @@
 //! become ECperf's system time, and the single-threaded collector becomes
 //! the GC-idle slice and the Figure 10 snoop-copyback collapse.
 
-use memsys::MemSink;
+use memsys::{MemSink, RegionMap};
 use prng::SimRng;
 use sysos::modes::ExecMode;
 
@@ -184,6 +184,14 @@ pub trait Workload {
     /// scheduling would only catch after the fact.
     fn gc_pressure(&self) -> f64 {
         0.0
+    }
+
+    /// Named address regions for cycle attribution (heap generations,
+    /// code cache, lock words, stacks, kernel structures). Defaults to
+    /// an empty map: every access classifies as `other`. Built once at
+    /// machine construction — regions are fixed for a run.
+    fn region_map(&self) -> RegionMap {
+        RegionMap::new()
     }
 
     /// Per-transaction response-time histogram, when the workload keeps

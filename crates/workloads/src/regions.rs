@@ -1,0 +1,38 @@
+//! Shared region-map assembly for JVM-hosted workloads.
+//!
+//! Both workloads carve their address space the same way — code cache,
+//! lock words, thread stacks, then the generational heap — so the
+//! attribution regions are assembled here. TLAB metadata has no separate
+//! address region in this model (a TLAB is a pair of bump cursors into an
+//! eden chunk), so TLAB allocation traffic classifies as `eden`.
+
+use jvm::codecache::CodeCache;
+use jvm::heap::Heap;
+use jvm::lock::LockSet;
+use jvm::thread::JavaThread;
+use memsys::{AddrRange, RegionMap};
+
+/// Builds the common JVM regions: `code`, `lock`, `stack`, `eden`,
+/// `survivor` (both semi-spaces), `old_gen`.
+pub(crate) fn jvm_region_map(
+    heap: &Heap,
+    code: &CodeCache,
+    locks: &LockSet,
+    threads: &[JavaThread],
+) -> RegionMap {
+    let mut map = RegionMap::new();
+    map.insert(code.region(), "code");
+    map.insert(locks.region(), "lock");
+    if let (Some(first), Some(last)) = (threads.first(), threads.last()) {
+        // Stacks are carved contiguously; one region covers them all.
+        let start = first.stack.start();
+        let len = last.stack.end().0 - start.0;
+        map.insert(AddrRange::new(start, len), "stack");
+    }
+    map.insert(heap.eden_range(), "eden");
+    for s in heap.survivor_ranges() {
+        map.insert(s, "survivor");
+    }
+    map.insert(heap.old_range(), "old_gen");
+    map
+}

@@ -337,6 +337,10 @@ impl Workload for SpecJbb {
         vec![LockDesc::mutex(); 1 + self.cfg.warehouses]
     }
 
+    fn region_map(&self) -> memsys::RegionMap {
+        crate::regions::jvm_region_map(&self.heap, &self.code, &self.lockset, &self.threads)
+    }
+
     fn step(&mut self, thread: usize, ctx: &mut StepCtx<'_>) -> StepResult {
         let phase = self.phases[thread];
         match phase {

@@ -47,13 +47,32 @@ echo "==> MEMCURVE.csv ($(wc -l < MEMCURVE.csv) rows)"
 
 # The figures binary rewrites RUNLOG_figures.jsonl on every invocation,
 # so the curve's log is checked above before figure 10 regenerates it.
-echo "==> figure 10 trace + simreport over its interval RunLog"
-./target/release/figures quick 10
+# Figure 10 and the cycle-attribution profile share one invocation: the
+# combined RunLog is what rebaseline.sh aggregates, so the drift gate
+# below covers the attrib counters too. `--check` cross-validates every
+# attrib record stream against its span's `attrib.cycles` counter.
+echo "==> figure 10 trace + cycle attribution + simreport over the combined RunLog"
+./target/release/figures quick 10 attrib
 ./target/release/simreport --check RUNLOG_figures.jsonl
 ./target/release/simreport --simstat RUNLOG_figures.jsonl | grep -q "intervals x" \
     || { echo "simstat view is missing the interval table"; exit 1; }
 ./target/release/simreport --simstat-csv RUNLOG_figures.jsonl > SIMSTAT_figures.csv
 echo "==> SIMSTAT_figures.csv ($(wc -l < SIMSTAT_figures.csv) rows)"
+
+# The attribution artifacts CI uploads: the CPI-stack table must carry
+# the paper's GC/mutator split, the CSV is the machine-readable
+# companion, and the folded stacks feed inferno / flamegraph.pl /
+# speedscope directly.
+echo "==> cycle-attribution artifacts: CPI-stack CSV + folded stacks"
+./target/release/simreport --attrib RUNLOG_figures.jsonl | grep -q "cycles attributed" \
+    || { echo "attrib view is missing the CPI-stack table"; exit 1; }
+./target/release/simreport --attrib-csv RUNLOG_figures.jsonl > ATTRIB_figures.csv
+head -1 ATTRIB_figures.csv | grep -q "run,phase,component,cause,region,cycles,share_pct" \
+    || { echo "ATTRIB_figures.csv is missing its header row"; exit 1; }
+./target/release/simreport --folded RUNLOG_figures.jsonl > ATTRIB_figures.folded
+grep -q "^gc;" ATTRIB_figures.folded || { echo "folded stacks lack the GC phase"; exit 1; }
+grep -q "^mutator;" ATTRIB_figures.folded || { echo "folded stacks lack the mutator phase"; exit 1; }
+echo "==> ATTRIB_figures.csv ($(wc -l < ATTRIB_figures.csv) rows), ATTRIB_figures.folded ($(wc -l < ATTRIB_figures.folded) stacks)"
 
 # The run observatory: export the figure-10 RunLog as a Chrome-trace
 # timeline (the artifact CI uploads for Perfetto), then gate its
@@ -65,6 +84,9 @@ echo "==> run observatory: Chrome-trace export + drift gate vs committed baselin
 ./target/release/simreport --trace TRACE_figures.json RUNLOG_figures.jsonl
 test -s TRACE_figures.json || { echo "simreport --trace did not write TRACE_figures.json"; exit 1; }
 ./target/release/simdiff --baseline BASELINES.json RUNLOG_figures.jsonl | tee DRIFT_figures.txt
+# The machine-readable twin for PR annotations (same verdict and rank).
+./target/release/simdiff --json --baseline BASELINES.json RUNLOG_figures.jsonl > DRIFT_figures.json
+grep -q '"ok": true' DRIFT_figures.json || { echo "DRIFT_figures.json verdict is not ok"; exit 1; }
 
 # The sampled spine's correctness claim is measured, not assumed: the
 # differential matrix runs each config every-cycle and sampled, and the

@@ -3,8 +3,9 @@
 #
 # Usage: scripts/rebaseline.sh
 #
-# Regenerates the quick-effort figure-10 RunLog (the same run
-# scripts/ci.sh gates) and aggregates it into BASELINES.json. Run this
+# Regenerates the quick-effort figure-10 + cycle-attribution RunLog
+# (the same combined run scripts/ci.sh gates) and aggregates it into
+# BASELINES.json — attribution roll-up counters included. Run this
 # deliberately — after a change that is *supposed* to shift simulation
 # results — then review `git diff BASELINES.json` and commit the new
 # numbers alongside the change that explains them.
@@ -12,6 +13,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p middlesim --bin figures --bin simdiff
-./target/release/figures quick 10
+./target/release/figures quick 10 attrib
 ./target/release/simdiff --write-baseline BASELINES.json RUNLOG_figures.jsonl
 echo "BASELINES.json refreshed — review 'git diff BASELINES.json' before committing."

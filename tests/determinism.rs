@@ -409,6 +409,173 @@ fn event_records_are_bit_identical_across_worker_counts() {
     }
 }
 
+/// Attribution records ride the same contract as events: the
+/// `phase;component;cause;region` cycle folds an `AttribProfiler`
+/// harvests are stamped on the worker threads and sorted at
+/// serialization time, so the `"ev":"attrib"` JSONL stream must be
+/// byte-identical at 1, 2 and 4 workers, in both full and sampled
+/// modes, and must carry both the mutator and the GC phase.
+#[test]
+fn attrib_records_are_bit_identical_across_worker_counts() {
+    use middlesim::engine::{measure_sampled, SamplingConfig};
+    use workloads::model::Workload;
+
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let cost = |&(p, _): &(usize, u64)| middlesim::Effort::Quick.cost_hint(p);
+    // Same harder-scaled heap as the event-record test: a small eden
+    // puts GC attribution inside the short window.
+    let jbb_hot = |p: usize, s: u64| {
+        let cfg = SpecJbbConfig::scaled(2 * p, 512);
+        let region = AddrRange::new(Addr(0x2000_0000), cfg.required_bytes());
+        let mut mc = MachineConfig::e6000(p);
+        mc.seed = s;
+        Machine::new(mc, SpecJbb::new(cfg, region))
+    };
+    let base_cpi = MachineConfig::e6000(1).pipeline.base_cpi;
+    let prov = probes::Provenance {
+        git_rev: "test".into(),
+        hostname: "test".into(),
+        cpu_count: 4,
+        timestamp: 0,
+        workers: None,
+        effort: None,
+        sim_mode: None,
+    };
+    let attrib_lines = |log: &RunLog| -> Vec<String> {
+        log.to_jsonl(&prov)
+            .lines()
+            .filter(|l| l.contains("\"ev\":\"attrib\""))
+            .map(str::to_string)
+            .collect()
+    };
+
+    // Full mode: counters carry the attrib roll-up so the serialized
+    // log also exercises the `--check` cross-validation invariant.
+    let full = |&(p, s): &(usize, u64)| {
+        let mut m = jbb_hot(p, s);
+        let handle = m.attach_observer(middlesim::AttribProfiler::new(
+            m.workload().region_map(),
+            base_cpi,
+        ));
+        m.run_until(10 * MCYCLES);
+        m.begin_measurement();
+        let start = m.time();
+        m.run_until(start + 20 * MCYCLES);
+        let prof = m.observer(handle);
+        let mut counters = m.counters();
+        counters.record(prof);
+        let tele =
+            middlesim::JobTelemetry::counters(Some(counters)).with_attribs(prof.to_records(0, 0));
+        (m.window_report(), tele)
+    };
+
+    // Sampled mode: the profiler observes only the detailed units the
+    // sampling spine simulates, which must replay identically too.
+    let sampled = |&(p, s): &(usize, u64)| {
+        let mut m = jbb_hot(p, s);
+        let handle = m.attach_observer(middlesim::AttribProfiler::new(
+            m.workload().region_map(),
+            base_cpi,
+        ));
+        let run = measure_sampled(
+            &mut m,
+            10 * MCYCLES,
+            20 * MCYCLES,
+            &SamplingConfig::for_window(20 * MCYCLES),
+        );
+        let prof = m.observer(handle);
+        let tele = middlesim::JobTelemetry::default().with_attribs(prof.to_records(0, 0));
+        (run.to_window_report(), tele)
+    };
+
+    type Body<'a> = &'a (dyn Fn(&(usize, u64)) -> (WindowReport, middlesim::JobTelemetry) + Sync);
+    let modes: [(&str, Body); 2] = [("full", &full), ("sampled", &sampled)];
+    for (tag, body) in modes {
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1, 2, 4] {
+            let log = Arc::new(RunLog::new());
+            let plan = ExperimentPlan::serial(middlesim::Effort::Quick)
+                .with_threads(threads)
+                .with_run_log(Arc::clone(&log), tag);
+            let _ = plan.run_telemetry(&jobs, cost, body);
+            let lines = attrib_lines(&log);
+            assert!(
+                !lines.is_empty(),
+                "{tag}-mode run produced no attrib records"
+            );
+            match &reference {
+                None => {
+                    let has = |needle: &str| lines.iter().any(|l| l.contains(needle));
+                    assert!(
+                        has("\"stack\":\"mutator;"),
+                        "{tag}-mode fold lacks mutator stacks"
+                    );
+                    assert!(has("data_stall"), "{tag}-mode fold lacks data stalls");
+                    if tag == "full" {
+                        assert!(has("\"stack\":\"gc;"), "full-mode fold lacks GC stacks");
+                        // The heap-region dimension survives serialization.
+                        assert!(
+                            has(";old_gen\"") || has(";eden\""),
+                            "full-mode fold lacks heap-region leaves"
+                        );
+                    }
+                    reference = Some(lines);
+                }
+                Some(first) => assert_eq!(
+                    first, &lines,
+                    "{threads}-thread {tag}-mode attrib stream diverged from 1-thread"
+                ),
+            }
+        }
+    }
+}
+
+/// Attribution must be free: running the same jobs with an
+/// `AttribProfiler` attached leaves every pre-existing output —
+/// window reports and the machine counter snapshots — bit-identical
+/// to the bare run at every worker count. The profiler only reads the
+/// `StallCharge` the timers already computed, so switching it on may
+/// not perturb a single simulated event.
+#[test]
+fn attrib_profiler_attachment_leaves_outputs_bit_identical() {
+    use workloads::model::Workload;
+
+    let jobs: Vec<(usize, u64)> = [1usize, 2]
+        .iter()
+        .flat_map(|&p| (0..2u64).map(move |s| (p, s)))
+        .collect();
+    let base_cpi = MachineConfig::e6000(1).pipeline.base_cpi;
+    let observe = |&(p, s): &(usize, u64), attach: bool| {
+        let mut m = jbb(p, s);
+        if attach {
+            let _ = m.attach_observer(middlesim::AttribProfiler::new(
+                m.workload().region_map(),
+                base_cpi,
+            ));
+        }
+        m.run_until(10 * MCYCLES);
+        m.begin_measurement();
+        let start = m.time();
+        m.run_until(start + 20 * MCYCLES);
+        (m.window_report(), m.counters())
+    };
+
+    let bare =
+        ExperimentPlan::serial(middlesim::Effort::Quick).run(&jobs, |job| observe(job, false));
+    for threads in [1, 2, 4] {
+        let profiled = ExperimentPlan::serial(middlesim::Effort::Quick)
+            .with_threads(threads)
+            .run(&jobs, |job| observe(job, true));
+        assert_eq!(
+            bare, profiled,
+            "{threads}-thread profiled run diverged from the bare run"
+        );
+    }
+}
+
 /// The official SPECjbb run protocol — speculative ramp rounds on the
 /// plan — produces the identical score structure at every worker count.
 #[test]
